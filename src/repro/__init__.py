@@ -1,0 +1,76 @@
+"""Reproduction of "On Scale Independence for Querying Big Data" (PODS 2014).
+
+The package is organised as follows:
+
+* :mod:`repro.logic` -- the query languages of the paper (CQ, UCQ, FO) with
+  active-domain semantics, homomorphisms and containment.
+* :mod:`repro.relational` -- the relational substrate: schemas, instances,
+  hash indexes with tuple-access accounting, relational algebra.
+* :mod:`repro.core` -- the paper's primary contribution: access schemas,
+  controllability, scale-independent query plans and the decision problems
+  QDSI, QSI, QCntl and QCntlmin.
+* :mod:`repro.incremental` -- incremental scale independence (Section 5):
+  change propagation, the ``RA_A`` rule system and the ``\\Delta QSI`` decider.
+* :mod:`repro.views` -- scale independence using views (Section 6): CQ
+  rewriting using views, constrained variables and the VQSI decider.
+* :mod:`repro.workloads` -- synthetic social-network workloads and the
+  paper's running queries Q1/Q2/Q3 and views V1/V2.
+* :mod:`repro.bench` -- the experiment harness used by ``benchmarks/``.
+
+The most frequently used names are re-exported here for convenience.
+"""
+
+from repro.errors import (
+    NotControlledError,
+    ReproError,
+    SchemaError,
+    UndecidableError,
+    UpdateError,
+)
+from repro.logic.terms import Constant, Variable
+from repro.logic.ast import Atom, Equality, And, Or, Not, Exists, Forall, Implies
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.logic.fo import FirstOrderQuery
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.instance import Database
+from repro.core.access_schema import AccessRule, AccessSchema, EmbeddedAccessRule, FullAccessRule
+from repro.core.controllability import controlling_sets, is_controlled
+from repro.core.plans import compile_plan
+from repro.core.qdsi import decide_qdsi
+from repro.core.qsi import decide_qsi
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UpdateError",
+    "UndecidableError",
+    "NotControlledError",
+    "Variable",
+    "Constant",
+    "Atom",
+    "Equality",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "Forall",
+    "Implies",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "FirstOrderQuery",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Database",
+    "AccessRule",
+    "EmbeddedAccessRule",
+    "FullAccessRule",
+    "AccessSchema",
+    "controlling_sets",
+    "is_controlled",
+    "compile_plan",
+    "decide_qdsi",
+    "decide_qsi",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Exception hierarchy shared across the package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A query, tuple or access rule refers to a relation or attribute that
+    does not exist, or uses the wrong arity."""
+
+
+class UpdateError(ReproError):
+    """An update violates the well-formedness conditions of Section 5:
+    deletions must be contained in the database and insertions must be
+    disjoint from it."""
+
+
+class UndecidableError(ReproError):
+    """The requested decision problem is undecidable for the given input
+    class (e.g. QSI or VQSI for full first-order logic)."""
+
+
+class NotControlledError(ReproError):
+    """A scale-independent plan was requested for a query that is not
+    controlled by the given variables under the given access schema."""
+
+
+class RewritingError(ReproError):
+    """No rewriting of the requested form exists (or the bounded search for
+    one was exhausted)."""

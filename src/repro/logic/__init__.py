@@ -1,0 +1,31 @@
+"""Logical query languages used in the paper: CQ, UCQ and FO.
+
+The abstract syntax lives in :mod:`repro.logic.ast`, conjunctive queries in
+:mod:`repro.logic.cq`, and evaluation with active-domain semantics in
+:mod:`repro.logic.evaluation`.  Homomorphism-based reasoning (containment,
+equivalence, minimisation, witnesses) is in :mod:`repro.logic.homomorphism`.
+"""
+
+from repro.logic.terms import Constant, Term, Variable
+from repro.logic.ast import And, Atom, Equality, Exists, Forall, Formula, Implies, Not, Or
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.logic.fo import FirstOrderQuery
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Formula",
+    "Atom",
+    "Equality",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "Forall",
+    "Implies",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "FirstOrderQuery",
+]

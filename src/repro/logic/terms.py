@@ -1,0 +1,97 @@
+"""Terms: variables and constants.
+
+Queries are built from *terms*.  A :class:`Variable` is a named placeholder
+ranging over the active domain of a database; a :class:`Constant` wraps a
+Python value (string, int, ...) appearing literally in the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value appearing in a query."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __lt__(self, other: "Constant") -> bool:
+        # A total order is convenient for deterministic output; fall back to
+        # comparing string renderings when the values are not comparable.
+        if not isinstance(other, Constant):
+            return NotImplemented
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value: object) -> Term:
+    """Coerce ``value`` into a term.
+
+    Strings starting with ``?`` become variables named without the marker;
+    :class:`Variable` and :class:`Constant` instances pass through; everything
+    else becomes a :class:`Constant`.
+
+    This is a convenience for writing queries compactly, e.g.
+    ``Atom("friend", [make_term("?p"), make_term("?id")])``.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value.startswith("?"):
+        return Variable(value[1:])
+    return Constant(value)
+
+
+def variables_of(terms) -> tuple[Variable, ...]:
+    """Return the variables occurring in ``terms``, in order, without
+    duplicates."""
+    seen: list[Variable] = []
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.append(term)
+    return tuple(seen)
+
+
+def constants_of(terms) -> tuple[Constant, ...]:
+    """Return the constants occurring in ``terms``, in order, without
+    duplicates."""
+    seen: list[Constant] = []
+    for term in terms:
+        if isinstance(term, Constant) and term not in seen:
+            seen.append(term)
+    return tuple(seen)
