@@ -23,6 +23,7 @@ The most frequently used names are re-exported here for convenience.
 from repro.errors import (
     NotControlledError,
     ReproError,
+    RewritingError,
     SchemaError,
     UndecidableError,
     UpdateError,
@@ -46,6 +47,7 @@ __all__ = [
     "UpdateError",
     "UndecidableError",
     "NotControlledError",
+    "RewritingError",
     "Variable",
     "Constant",
     "Atom",

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: access schemas, controllability,
+scale-independent plans and the QSI/QDSI deciders."""
+
+from repro.core.access_schema import (
+    AccessRule,
+    AccessSchema,
+    EmbeddedAccessRule,
+    FullAccessRule,
+)
+from repro.core.controllability import (
+    Coverage,
+    CoverageStep,
+    controlling_sets,
+    coverage,
+    is_controlled,
+)
+from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
+from repro.core.qdsi import QDSIResult, decide_qdsi
+from repro.core.qsi import QSIResult, decide_qsi
+
+__all__ = [
+    "AccessRule",
+    "FullAccessRule",
+    "EmbeddedAccessRule",
+    "AccessSchema",
+    "Coverage",
+    "CoverageStep",
+    "coverage",
+    "is_controlled",
+    "controlling_sets",
+    "Plan",
+    "FetchStep",
+    "ProbeStep",
+    "compile_plan",
+    "QDSIResult",
+    "decide_qdsi",
+    "QSIResult",
+    "decide_qsi",
+]

@@ -1,0 +1,201 @@
+"""Access schemas (Fan, Geerts & Libkin 2014, Section 2).
+
+An access schema declares, for each relation, which *bounded access paths*
+exist: a rule ``R(X -> N, T)`` says that for any values of the attributes
+``X``, at most ``N`` tuples of ``R`` match and they can be fetched in time
+``T``.  These are the promises indexes and cardinality constraints make in
+a real deployment, and they are the only means by which a scale-independent
+plan may touch the data.
+
+Three rule shapes are provided:
+
+* :class:`AccessRule` -- the general form ``R(X -> N)``: given values for
+  ``X``, fetch the (at most ``N``) full tuples of ``R`` that match.
+* :class:`FullAccessRule` -- the special case ``X = {}``: the whole
+  relation holds at most ``N`` tuples and may be read outright ("small"
+  relations such as dictionaries and enumerations).
+* :class:`EmbeddedAccessRule` -- ``R(X -> Y, N)``: given values for ``X``,
+  at most ``N`` distinct ``Y``-projections match.  A fetch through it binds
+  only ``X`` and ``Y``; the atom still needs a separate membership probe
+  (or another rule) before it is fully verified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _attribute_tuple(attributes: Iterable[str], what: str) -> tuple[str, ...]:
+    attrs = tuple(attributes)
+    if len(set(attrs)) != len(attrs):
+        raise SchemaError(f"duplicate {what} attributes: {attrs!r}")
+    return attrs
+
+
+def _check_bound(bound: object) -> int:
+    # The cardinality bound N is what makes an access path usable for
+    # scale independence; a rule without one would be a plain index and
+    # could never certify a bounded plan, so N is mandatory.
+    if isinstance(bound, bool) or not isinstance(bound, int) or bound < 1:
+        raise SchemaError(
+            f"access rule bound must be a positive integer, got {bound!r}"
+        )
+    return bound
+
+
+class AccessRule:
+    """The general access rule ``R(X -> N)``."""
+
+    __slots__ = ("relation", "inputs", "bound", "cost")
+
+    def __init__(
+        self,
+        relation: str,
+        inputs: Iterable[str],
+        bound: int,
+        cost: float = 1.0,
+    ):
+        if not relation:
+            raise SchemaError("access rule relation name must be non-empty")
+        self.relation = relation
+        self.inputs = _attribute_tuple(inputs, "input")
+        self.bound = _check_bound(bound)
+        self.cost = cost
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.relation, self.inputs, self.bound)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AccessRule) and self._key() == other._key()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.relation!r}, {self.inputs!r}, "
+            f"bound={self.bound!r})"
+        )
+
+    def __str__(self) -> str:
+        inputs = ", ".join(self.inputs) or "{}"
+        return f"{self.relation}({inputs} -> {self.bound})"
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check the rule against ``schema`` (relation and attributes
+        exist)."""
+        rel = schema.relation(self.relation)
+        for attr in self.inputs:
+            rel.position(attr)
+
+    def bound_attributes(self, rel: RelationSchema) -> tuple[str, ...]:
+        """The attributes whose values are known after a fetch through this
+        rule: all of them, since full tuples are returned."""
+        return rel.attributes
+
+    @property
+    def verifies_atom(self) -> bool:
+        """Whether a fetch through this rule returns full tuples of ``R``
+        (and hence witnesses the atom it serves)."""
+        return True
+
+
+class FullAccessRule(AccessRule):
+    """``R({} -> N)``: the whole relation is bounded by ``N`` tuples."""
+
+    __slots__ = ()
+
+    def __init__(self, relation: str, bound: int, cost: float = 1.0):
+        super().__init__(relation, (), bound, cost)
+
+
+class EmbeddedAccessRule(AccessRule):
+    """``R(X -> Y, N)``: given ``X``-values, at most ``N`` distinct
+    ``Y``-projections of ``R`` match."""
+
+    __slots__ = ("outputs",)
+
+    def __init__(
+        self,
+        relation: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        bound: int,
+        cost: float = 1.0,
+    ):
+        super().__init__(relation, inputs, bound, cost)
+        self.outputs = _attribute_tuple(outputs, "output")
+        if not self.outputs:
+            raise SchemaError("embedded access rule needs at least one output attribute")
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise SchemaError(
+                f"embedded access rule inputs and outputs overlap: {sorted(overlap)}"
+            )
+
+    def _key(self) -> tuple:
+        return super()._key() + (self.outputs,)
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddedAccessRule({self.relation!r}, {self.inputs!r}, "
+            f"{self.outputs!r}, bound={self.bound!r})"
+        )
+
+    def __str__(self) -> str:
+        inputs = ", ".join(self.inputs) or "{}"
+        outputs = ", ".join(self.outputs)
+        return f"{self.relation}({inputs} -> {outputs}, {self.bound})"
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        super().validate(schema)
+        rel = schema.relation(self.relation)
+        for attr in self.outputs:
+            rel.position(attr)
+
+    def bound_attributes(self, rel: RelationSchema) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+    @property
+    def verifies_atom(self) -> bool:
+        return False
+
+
+class AccessSchema:
+    """A database schema together with its access rules."""
+
+    __slots__ = ("schema", "_by_relation")
+
+    def __init__(self, schema: DatabaseSchema, rules: Iterable[AccessRule] = ()):
+        if not isinstance(schema, DatabaseSchema):
+            raise SchemaError(f"{schema!r} is not a DatabaseSchema")
+        self.schema = schema
+        self._by_relation: dict[str, tuple[AccessRule, ...]] = {}
+        for rule in rules:
+            if not isinstance(rule, AccessRule):
+                raise SchemaError(f"{rule!r} is not an AccessRule")
+            rule.validate(schema)
+            self._by_relation[rule.relation] = self._by_relation.get(
+                rule.relation, ()
+            ) + (rule,)
+
+    def rules_for(self, relation: str) -> tuple[AccessRule, ...]:
+        """The access rules declared on ``relation`` (which must exist)."""
+        self.schema.relation(relation)
+        return self._by_relation.get(relation, ())
+
+    def __iter__(self) -> Iterator[AccessRule]:
+        for rules in self._by_relation.values():
+            yield from rules
+
+    def __len__(self) -> int:
+        return sum(len(rules) for rules in self._by_relation.values())
+
+    def __repr__(self) -> str:
+        return f"AccessSchema({list(self)!r})"
+
+    def __str__(self) -> str:
+        return "{" + "; ".join(str(rule) for rule in self) + "}"

@@ -1,0 +1,165 @@
+"""Controllability of conjunctive queries under an access schema.
+
+Following Fan, Geerts & Libkin (2014, Section 4), a query ``Q`` is
+*controlled* by a set of variables ``C`` under an access schema ``A`` if,
+once values for ``C`` are fixed, every variable of ``Q`` can be bound by a
+chain of bounded fetches through the rules of ``A`` -- which is exactly the
+condition under which a scale-independent plan exists.
+
+The decision procedure is a monotone fixpoint: starting from ``C`` (query
+constants are always bound), a rule ``R(X -> N)`` on a body atom whose
+``X``-positions are all bound extends the bound set with the atom's other
+variables (for an embedded rule ``R(X -> Y, N)``, only the ``Y``
+positions).  ``Q`` is controlled iff the fixpoint covers all of its
+variables.
+
+:func:`controlling_sets` solves the paper's QCntl/QCntlmin problems by
+searching the subsets of the candidate variables for the minimal
+controlling sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.core.access_schema import AccessRule, AccessSchema
+from repro.logic.ast import Atom, _as_variable
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Constant, Variable
+
+
+@dataclass(frozen=True)
+class CoverageStep:
+    """One fixpoint step: ``rule`` applied to ``atom`` bound ``binds``."""
+
+    atom: Atom
+    rule: AccessRule
+    binds: tuple[Variable, ...]
+
+    def __str__(self) -> str:
+        binds = ", ".join(f"?{v}" for v in self.binds) or "nothing new"
+        return f"fetch {self.atom} via {self.rule} binding {binds}"
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """The result of the fixpoint: which variables became bound and how."""
+
+    bound: frozenset[Variable]
+    steps: tuple[CoverageStep, ...]
+    variables: tuple[Variable, ...]
+
+    @property
+    def uncovered(self) -> tuple[Variable, ...]:
+        return tuple(v for v in self.variables if v not in self.bound)
+
+    @property
+    def controlled(self) -> bool:
+        return not self.uncovered
+
+
+def _normalize_vars(variables: Iterable[object]) -> tuple[Variable, ...]:
+    return tuple(_as_variable(v) for v in variables)
+
+
+def coverage(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    parameters: Iterable[object] = (),
+) -> Coverage:
+    """Run the fixpoint propagation for ``query`` under ``access`` with the
+    variables in ``parameters`` initially bound."""
+    access.schema.validate_query(query)
+    params = _normalize_vars(parameters)
+    subst = query.equality_substitution()
+    if subst is None:
+        # Unsatisfiable query: the empty plan answers it, everything is
+        # trivially covered.
+        all_vars = query.variables()
+        return Coverage(frozenset(all_vars), (), all_vars)
+
+    atoms = tuple(a.substitute(subst) for a in query.body)
+    # Work on equality-class representatives; a parameter value for any
+    # member of a class binds the representative.
+    bound: set[Variable] = set()
+    for v in params:
+        rep = subst.get(v, v)
+        if isinstance(rep, Variable):
+            bound.add(rep)
+
+    steps: list[CoverageStep] = []
+    changed = True
+    while changed:
+        changed = False
+        for atom in atoms:
+            rel = access.schema.relation(atom.relation)
+            for rule in access.rules_for(atom.relation):
+                in_pos = rel.positions(rule.inputs)
+                if not all(_is_bound(atom.terms[p], bound) for p in in_pos):
+                    continue
+                out_pos = rel.positions(rule.bound_attributes(rel))
+                newly = tuple(
+                    dict.fromkeys(
+                        atom.terms[p]
+                        for p in out_pos
+                        if isinstance(atom.terms[p], Variable)
+                        and atom.terms[p] not in bound
+                    )
+                )
+                if newly:
+                    bound.update(newly)
+                    steps.append(CoverageStep(atom, rule, newly))
+                    changed = True
+
+    # Translate coverage of representatives back to the original variables.
+    all_vars = query.variables()
+    covered = frozenset(
+        v
+        for v in all_vars
+        if isinstance(subst.get(v, v), Constant) or subst.get(v, v) in bound
+    )
+    return Coverage(covered, tuple(steps), all_vars)
+
+
+def _is_bound(term, bound: set[Variable]) -> bool:
+    return isinstance(term, Constant) or term in bound
+
+
+def is_controlled(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    parameters: Iterable[object] = (),
+) -> bool:
+    """True iff fixing the variables in ``parameters`` makes every variable
+    of ``query`` reachable through bounded fetches of ``access``."""
+    return coverage(query, access, parameters).controlled
+
+
+def controlling_sets(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    candidates: Sequence[object] | None = None,
+    minimal_only: bool = True,
+) -> tuple[tuple[Variable, ...], ...]:
+    """The controlling sets of ``query`` drawn from ``candidates``
+    (default: the head variables), smallest first.
+
+    With ``minimal_only`` (the default) only inclusion-minimal sets are
+    returned -- the paper's QCntlmin; otherwise every controlling subset is
+    returned -- QCntl.
+    """
+    pool = _normalize_vars(candidates if candidates is not None else query.head)
+    pool = tuple(dict.fromkeys(pool))
+    found: list[tuple[Variable, ...]] = []
+    minimal: list[frozenset[Variable]] = []
+    for size in range(len(pool) + 1):
+        for combo in combinations(pool, size):
+            as_set = frozenset(combo)
+            if minimal_only and any(m <= as_set for m in minimal):
+                continue
+            if is_controlled(query, access, combo):
+                found.append(combo)
+                minimal.append(as_set)
+    return tuple(found)

@@ -1,0 +1,360 @@
+"""Scale-independent query plans (Fan, Geerts & Libkin 2014, Section 4).
+
+:func:`compile_plan` turns a controlled conjunctive query into a
+left-deep fetch/join plan: an ordered sequence of
+
+* :class:`FetchStep` -- pull the (boundedly many) tuples of an atom's
+  relation matching the currently bound positions, through a declared
+  access rule, binding the atom's remaining variables; and
+* :class:`ProbeStep` -- verify a fully-bound atom with a single indexed
+  membership probe.
+
+Each step joins with the bindings accumulated so far, so executing the
+plan never scans a relation that is not covered by a
+:class:`FullAccessRule`: every access is either an indexed lookup keyed on
+an access rule's input attributes or a one-tuple membership probe.  The
+number of tuples a plan touches is bounded by the product of its rules'
+cardinality bounds -- independent of the database size, which is the whole
+point.
+
+If the query is not controlled by the given parameters,
+:func:`compile_plan` raises :class:`repro.errors.NotControlledError`
+naming the variables and atoms the fixpoint could not reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.access_schema import AccessRule, AccessSchema, EmbeddedAccessRule
+from repro.core.controllability import _is_bound
+from repro.errors import NotControlledError
+from repro.logic.ast import Atom, _as_variable
+from repro.logic.cq import ConjunctiveQuery, Substitution
+from repro.logic.evaluation import _bound_pattern, _extend
+from repro.logic.terms import Constant, Term, Variable
+
+Row = tuple[object, ...]
+Assignment = dict[Variable, object]
+
+
+@dataclass(frozen=True)
+class FetchStep:
+    """Fetch the tuples of ``atom``'s relation through ``rule``, keyed on
+    the positions bound so far, and bind ``binds``."""
+
+    atom: Atom
+    rule: AccessRule
+    input_positions: tuple[int, ...]
+    output_positions: tuple[int, ...]
+    binds: tuple[Variable, ...]
+
+    @property
+    def verifies_atom(self) -> bool:
+        return self.rule.verifies_atom
+
+    def __str__(self) -> str:
+        binds = ", ".join(f"?{v}" for v in self.binds) or "no new variables"
+        return f"fetch {self.atom} via {self.rule}, binding {binds}"
+
+
+@dataclass(frozen=True)
+class ProbeStep:
+    """Verify the fully-bound ``atom`` with one indexed membership probe."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return f"probe {self.atom}"
+
+
+Step = FetchStep | ProbeStep
+
+
+class Plan:
+    """A compiled scale-independent plan for a conjunctive query."""
+
+    __slots__ = ("query", "parameters", "steps", "head_terms", "satisfiable")
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        parameters: tuple[Variable, ...],
+        steps: tuple[Step, ...],
+        head_terms: tuple[Term, ...],
+        satisfiable: bool = True,
+    ):
+        self.query = query
+        self.parameters = parameters
+        self.steps = steps
+        self.head_terms = head_terms
+        self.satisfiable = satisfiable
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan(parameters={self.parameters!r}, steps={len(self.steps)}, "
+            f"satisfiable={self.satisfiable})"
+        )
+
+    @property
+    def fanout_bound(self) -> int:
+        """An upper bound on the number of tuples the plan can access per
+        execution -- a function of the access-rule bounds only, never of
+        the database size.
+
+        The bound is the sum over fetch steps of the product of the bounds
+        of the fetches above them (each branch of the left-deep join can
+        fan out by at most the rule's bound), plus one probe per branch.
+        """
+        if not self.satisfiable:
+            return 0
+        total = 0
+        branches = 1
+        for step in self.steps:
+            if isinstance(step, ProbeStep):
+                total += branches  # one probe per open branch
+                continue
+            total += branches * step.rule.bound
+            branches *= step.rule.bound
+        return total
+
+    def explain(self) -> str:
+        """A human-readable rendering of the plan."""
+        lines = []
+        params = ", ".join(f"?{v}" for v in self.parameters) or "none"
+        lines.append(f"parameters: {params}")
+        if not self.satisfiable:
+            lines.append("unsatisfiable equalities: the answer is empty")
+        for i, step in enumerate(self.steps, 1):
+            lines.append(f"{i}. {step}")
+        head = ", ".join(
+            str(t) if isinstance(t, Constant) else f"?{t}" for t in self.head_terms
+        )
+        lines.append(f"project: ({head})")
+        lines.append(f"access bound: {self.fanout_bound} tuples")
+        return "\n".join(lines)
+
+    def execute(
+        self,
+        db,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> tuple[Row, ...]:
+        """Run the plan on ``db`` with the given parameter values and return
+        the deduplicated answer tuples.
+
+        Parameter values may be passed as a mapping (keys are variables or
+        their names) and/or as keyword arguments.
+        """
+        values: Assignment = {}
+        for source in (parameters or {}), kwargs:
+            for key, value in source.items():
+                values[_as_variable(key)] = value
+        declared = set(self.parameters)
+        extra = [v for v in values if v not in declared]
+        if extra:
+            raise ValueError(
+                "bindings for variables that are not plan parameters "
+                "(recompile with them as parameters to constrain the answer): "
+                + ", ".join(f"?{v}" for v in extra)
+            )
+        missing = [v for v in self.parameters if v not in values]
+        if missing:
+            raise ValueError(
+                "missing plan parameters: " + ", ".join(f"?{v}" for v in missing)
+            )
+        if not self.satisfiable:
+            return ()
+        assignment = {v: values[v] for v in self.parameters}
+        answers: dict[Row, None] = {}
+        for final in self._run(db, 0, assignment):
+            row = []
+            for term in self.head_terms:
+                row.append(term.value if isinstance(term, Constant) else final[term])
+            answers.setdefault(tuple(row), None)
+        return tuple(answers)
+
+    def _run(self, db, i: int, assignment: Assignment) -> Iterator[Assignment]:
+        if i == len(self.steps):
+            yield assignment
+            return
+        step = self.steps[i]
+        if isinstance(step, ProbeStep):
+            row = tuple(
+                t.value if isinstance(t, Constant) else assignment[t]
+                for t in step.atom.terms
+            )
+            if db.contains(step.atom.relation, row):
+                yield from self._run(db, i + 1, assignment)
+            return
+
+        atom = step.atom
+        if isinstance(step.rule, EmbeddedAccessRule):
+            # The access path is keyed on the rule's inputs only; other
+            # bound positions are filtered after the fetch, and only the
+            # rule's outputs become bound (deduplicated projections).
+            pattern = {
+                p: (atom.terms[p].value if isinstance(atom.terms[p], Constant) else assignment[atom.terms[p]])
+                for p in step.input_positions
+            }
+            seen: set[Row] = set()
+            for row in db.lookup(atom.relation, pattern):
+                if not _matches(atom, row, assignment):
+                    continue
+                projection = tuple(row[p] for p in step.output_positions)
+                if projection in seen:
+                    continue
+                seen.add(projection)
+                extended = dict(assignment)
+                consistent = True
+                for p in step.output_positions:
+                    term = atom.terms[p]
+                    if isinstance(term, Constant):
+                        continue
+                    if term in extended and extended[term] != row[p]:
+                        consistent = False
+                        break
+                    extended[term] = row[p]
+                if consistent:
+                    yield from self._run(db, i + 1, extended)
+            return
+
+        # Plain (or full) access rule: key the lookup on every position
+        # that is already bound -- a superset of the rule's inputs, so the
+        # declared bound still applies and the lookup is at least as
+        # selective as the access path guarantees.
+        pattern = _bound_pattern(atom, assignment)
+        for row in db.lookup(atom.relation, pattern):
+            extended = _extend(atom, row, assignment)
+            if extended is not None:
+                yield from self._run(db, i + 1, extended)
+
+
+def _matches(atom: Atom, row: Row, assignment: Mapping[Variable, object]) -> bool:
+    for p, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            if term.value != row[p]:
+                return False
+        elif term in assignment and assignment[term] != row[p]:
+            return False
+    return True
+
+
+def compile_plan(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    parameters: Iterable[object] = (),
+) -> Plan:
+    """Compile a scale-independent plan for ``query`` under ``access``,
+    with the variables in ``parameters`` supplied at execution time.
+
+    Raises :class:`NotControlledError` if the query is not controlled by
+    ``parameters`` under ``access``.
+    """
+    access.schema.validate_query(query)
+    params = tuple(dict.fromkeys(_as_variable(v) for v in parameters))
+    unknown = [v for v in params if v not in set(query.variables())]
+    if unknown:
+        raise ValueError(
+            "parameters not occurring in the query: "
+            + ", ".join(f"?{v}" for v in unknown)
+        )
+
+    subst = query.equality_substitution()
+    if subst is None:
+        return Plan(query, params, (), tuple(subst_head(query, {})), satisfiable=False)
+
+    atoms = [a.substitute(subst) for a in query.body]
+    bound: set[Variable] = set()
+    for v in params:
+        rep = subst.get(v, v)
+        if isinstance(rep, Variable):
+            bound.add(rep)
+
+    # `remaining` holds (atom, verified?) pairs; an atom leaves the list
+    # once it has been witnessed by a full fetch or a probe.
+    remaining: list[Atom] = list(atoms)
+    steps: list[Step] = []
+
+    while remaining:
+        # 1. Probe any atom that is already fully bound: one tuple access.
+        probed = [a for a in remaining if all(_is_bound(t, bound) for t in a.terms)]
+        if probed:
+            for atom in probed:
+                steps.append(ProbeStep(atom))
+                remaining.remove(atom)
+            continue
+
+        # 2. Otherwise find the most selective applicable (atom, rule)
+        # fetch: rule inputs bound, and it must make progress (bind a new
+        # variable, or verify the atom outright).
+        best: tuple[tuple, FetchStep] | None = None
+        for atom in remaining:
+            rel = access.schema.relation(atom.relation)
+            for rule in access.rules_for(atom.relation):
+                in_pos = rel.positions(rule.inputs)
+                if not all(_is_bound(atom.terms[p], bound) for p in in_pos):
+                    continue
+                out_pos = rel.positions(rule.bound_attributes(rel))
+                newly = tuple(
+                    dict.fromkeys(
+                        atom.terms[p]
+                        for p in out_pos
+                        if isinstance(atom.terms[p], Variable)
+                        and atom.terms[p] not in bound
+                    )
+                )
+                if not newly and not rule.verifies_atom:
+                    continue  # an embedded fetch that binds nothing is useless
+                score = (rule.bound, -len(in_pos))
+                if best is None or score < best[0]:
+                    best = (score, FetchStep(atom, rule, in_pos, out_pos, newly))
+        if best is None:
+            _raise_not_controlled(query, access, params, bound, remaining, subst)
+        step = best[1]
+        steps.append(step)
+        bound.update(step.binds)
+        atom, rule = step.atom, step.rule
+        if rule.verifies_atom:
+            remaining.remove(atom)
+        # An embedded fetch leaves the atom in `remaining`; once all its
+        # positions are bound, branch 1 turns it into a probe.
+
+    head_terms = tuple(subst_head(query, subst))
+    unbound_head = [
+        t for t in head_terms if isinstance(t, Variable) and t not in bound
+    ]
+    if unbound_head:
+        _raise_not_controlled(query, access, params, bound, [], subst)
+    return Plan(query, params, tuple(steps), head_terms)
+
+
+def subst_head(query: ConjunctiveQuery, subst: Substitution) -> list[Term]:
+    return [subst.get(v, v) for v in query.head]
+
+
+def _raise_not_controlled(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    params: tuple[Variable, ...],
+    bound: set[Variable],
+    remaining: list[Atom],
+    subst: Substitution,
+) -> None:
+    all_vars = query.variables()
+    uncovered = [
+        v
+        for v in all_vars
+        if not isinstance(subst.get(v, v), Constant) and subst.get(v, v) not in bound
+    ]
+    details = []
+    if uncovered:
+        details.append("unreachable variables: " + ", ".join(f"?{v}" for v in uncovered))
+    if remaining:
+        details.append("uncovered atoms: " + ", ".join(str(a) for a in remaining))
+    given = ", ".join(f"?{v}" for v in params) or "no parameters"
+    raise NotControlledError(
+        f"query {query} is not controlled by {given} under {access}"
+        + (" (" + "; ".join(details) + ")" if details else "")
+    )

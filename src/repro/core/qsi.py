@@ -1,0 +1,79 @@
+"""The QSI decision problem: scale independence on *all* databases.
+
+``QSI(Q, A, parameters)`` asks whether ``Q`` is scale independent under
+access schema ``A`` on every database, once the parameter variables are
+supplied.  For conjunctive queries (and unions thereof) this is decided by
+the controllability fixpoint: ``Q`` is scale independent iff it is
+controlled, in which case :func:`repro.core.plans.compile_plan` produces a
+witnessing plan.  For full first-order logic the problem is undecidable
+(Fan, Geerts & Libkin 2014, Theorem 3.1), so FO inputs raise
+:class:`repro.errors.UndecidableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.access_schema import AccessSchema
+from repro.core.controllability import Coverage, coverage
+from repro.errors import UndecidableError
+from repro.logic.ast import Formula
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.fo import FirstOrderQuery
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+@dataclass(frozen=True)
+class QSIResult:
+    """The verdict for one QSI instance."""
+
+    scale_independent: bool
+    coverages: tuple[Coverage, ...]
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.scale_independent
+
+
+def decide_qsi(
+    query,
+    access: AccessSchema,
+    parameters: Iterable[object] = (),
+) -> QSIResult:
+    """Decide QSI for ``query`` under ``access``.
+
+    Accepts a :class:`ConjunctiveQuery` or a
+    :class:`UnionOfConjunctiveQueries`; raises
+    :class:`UndecidableError` for first-order queries or bare formulas.
+    """
+    if isinstance(query, (FirstOrderQuery, Formula)):
+        raise UndecidableError(
+            "QSI is undecidable for first-order queries "
+            "(Fan, Geerts & Libkin 2014, Theorem 3.1); "
+            "restrict to conjunctive queries or unions thereof"
+        )
+    if isinstance(query, ConjunctiveQuery):
+        disjuncts: tuple[ConjunctiveQuery, ...] = (query,)
+    elif isinstance(query, UnionOfConjunctiveQueries):
+        disjuncts = query.disjuncts
+    else:
+        raise TypeError(f"cannot decide QSI for {type(query).__name__}")
+
+    coverages = tuple(coverage(q, access, parameters) for q in disjuncts)
+    failing = [
+        (q, c) for q, c in zip(disjuncts, coverages) if not c.controlled
+    ]
+    if failing:
+        q, c = failing[0]
+        reason = (
+            f"{q} is not controlled: variables "
+            + ", ".join(f"?{v}" for v in c.uncovered)
+            + " are unreachable through the access rules"
+        )
+        return QSIResult(False, coverages, reason)
+    return QSIResult(
+        True,
+        coverages,
+        "every disjunct is controlled; a bounded fetch/join plan exists",
+    )

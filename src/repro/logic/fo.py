@@ -1,0 +1,81 @@
+"""First-order queries.
+
+A first-order query pairs a tuple of answer variables with an arbitrary
+formula whose free variables are exactly (a subset of) those answer
+variables plus any externally supplied parameters.  Evaluation uses the
+active-domain semantics of :mod:`repro.logic.evaluation` and is the
+reference implementation, not a scalable one: QSI for full first-order
+logic is undecidable (Fan, Geerts & Libkin 2014, Section 3), so FO queries
+never get scale-independent plans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.logic.ast import Formula, _as_variable
+from repro.logic.terms import Variable
+
+
+class FirstOrderQuery:
+    """An FO query ``Q(x1, ..., xk) = phi``."""
+
+    __slots__ = ("head", "formula")
+
+    def __init__(self, head: Iterable[object], formula: Formula):
+        if not isinstance(formula, Formula):
+            raise TypeError(f"{formula!r} is not a Formula")
+        self.head = tuple(_as_variable(v) for v in head)
+        self.formula = formula
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FirstOrderQuery)
+            and self.head == other.head
+            and self.formula == other.formula
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.formula))
+
+    def __repr__(self) -> str:
+        return f"FirstOrderQuery({self.head!r}, {self.formula!r})"
+
+    def __str__(self) -> str:
+        head = ", ".join(f"?{v}" for v in self.head)
+        return f"Q({head}) = {self.formula}"
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def free_variables(self) -> tuple[Variable, ...]:
+        return self.formula.free_variables()
+
+    def evaluate(
+        self, db, parameters: Mapping[object, object] | None = None
+    ) -> tuple[tuple[object, ...], ...]:
+        """All answer tuples over the active domain, deduplicated in order.
+
+        Every free variable of the formula must be a head variable or bound
+        by ``parameters``.
+        """
+        from repro.logic import evaluation
+
+        params = {_as_variable(k): v for k, v in (parameters or {}).items()}
+        uncovered = [
+            v
+            for v in self.formula.free_variables()
+            if v not in set(self.head) and v not in params
+        ]
+        if uncovered:
+            raise ValueError(
+                "free variables not covered by head or parameters: "
+                + ", ".join(f"?{v}" for v in uncovered)
+            )
+        answers: dict[tuple[object, ...], None] = {}
+        for asg in evaluation.satisfying_assignments(
+            self.formula, db, self.head, params
+        ):
+            answers.setdefault(tuple(asg[v] for v in self.head), None)
+        return tuple(answers)

@@ -1,0 +1,133 @@
+"""Homomorphism-based reasoning for conjunctive queries.
+
+Containment of CQs is characterised by homomorphisms (Chandra & Merlin's
+classic theorem): ``Q1`` is contained in ``Q2`` iff there is a homomorphism
+from ``Q2`` into the canonical database of ``Q1`` mapping head to head.
+This module implements the backtracking homomorphism search and the derived
+notions: containment, equivalence and minimisation (the core of a CQ).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.logic.ast import Atom
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Constant, Term, Variable
+
+Homomorphism = dict[Variable, Term]
+
+
+def _normalized(query: ConjunctiveQuery) -> tuple[tuple[Term, ...], tuple[Atom, ...]] | None:
+    """Head terms and body atoms after resolving equalities, or None if the
+    query is unsatisfiable."""
+    subst = query.equality_substitution()
+    if subst is None:
+        return None
+    head = tuple(subst.get(v, v) for v in query.head)
+    body = tuple(a.substitute(subst) for a in query.body)
+    return head, body
+
+
+def _unify(pattern: Term, target: Term, h: Homomorphism) -> Homomorphism | None:
+    """Extend ``h`` so that ``pattern`` maps to ``target``, or None.
+
+    Constants match on their underlying values (as the evaluators do),
+    not on the typed-literal identity used for sorting."""
+    if isinstance(pattern, Constant):
+        return (
+            h
+            if isinstance(target, Constant) and pattern.value == target.value
+            else None
+        )
+    bound = h.get(pattern)
+    if bound is not None:
+        if isinstance(bound, Constant) and isinstance(target, Constant):
+            # Re-binding consistency also uses value semantics (1 == 1.0).
+            return h if bound.value == target.value else None
+        return h if bound == target else None
+    return {**h, pattern: target}
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Homomorphism | None:
+    """A homomorphism from ``source`` into ``target``: a mapping of source
+    variables to target terms that sends every source atom to a target atom
+    and the source head to the target head, position by position.
+
+    Returns the mapping, or None if no homomorphism exists.
+    """
+    if source.arity != target.arity:
+        return None
+    src = _normalized(source)
+    tgt = _normalized(target)
+    if src is None or tgt is None:
+        # An unsatisfiable source maps vacuously only if the target is also
+        # unsatisfiable in the containment direction; signal "no mapping"
+        # here and let the containment wrapper handle unsatisfiability.
+        return None
+    src_head, src_body = src
+    tgt_head, tgt_body = tgt
+
+    h: Homomorphism | None = {}
+    for s, t in zip(src_head, tgt_head):
+        h = _unify(s, t, h)
+        if h is None:
+            return None
+
+    by_relation: dict[str, list[Atom]] = {}
+    for atom in tgt_body:
+        by_relation.setdefault(atom.relation, []).append(atom)
+
+    def recurse(i: int, h: Homomorphism) -> Homomorphism | None:
+        if i == len(src_body):
+            return h
+        atom = src_body[i]
+        for candidate in by_relation.get(atom.relation, ()):
+            if candidate.arity != atom.arity:
+                continue
+            extended: Homomorphism | None = h
+            for s, t in zip(atom.terms, candidate.terms):
+                extended = _unify(s, t, extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                result = recurse(i + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return recurse(0, h)
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """True iff ``q1``'s answers are a subset of ``q2``'s on every database."""
+    if q1.equality_substitution() is None:
+        return True  # unsatisfiable query is contained in everything
+    return find_homomorphism(q2, q1) is not None
+
+
+def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """True iff the two queries have the same answers on every database."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """An equivalent query with a minimal body (the core), obtained by
+    greedily dropping redundant atoms."""
+    body = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for i in range(len(body)):
+            candidate_body = body[:i] + body[i + 1 :]
+            try:
+                candidate = ConjunctiveQuery(query.head, candidate_body, query.equalities)
+            except ValueError:
+                continue  # dropping this atom would make the head unsafe
+            if are_equivalent(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.head, body, query.equalities)

@@ -1,0 +1,12 @@
+"""The relational substrate: schemas and database instances.
+
+:mod:`repro.relational.schema` declares relation and database schemas with
+arity/attribute validation; :mod:`repro.relational.instance` provides
+in-memory instances with per-relation hash indexes and tuple-access
+accounting, the measuring stick for scale independence.
+"""
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.instance import AccessStats, Database
+
+__all__ = ["RelationSchema", "DatabaseSchema", "Database", "AccessStats"]

@@ -1,0 +1,179 @@
+"""In-memory database instances with hash indexes and access accounting.
+
+A :class:`Database` stores each relation as an ordered set of tuples and
+builds per-relation hash indexes lazily, one per set of lookup positions.
+Every read goes through :meth:`Database.lookup`, :meth:`Database.scan` or
+:meth:`Database.contains` and is recorded in :class:`AccessStats` -- this
+accounting is the empirical measuring stick for scale independence: a plan
+is scale independent precisely when the number of tuples it accesses is
+bounded regardless of the database size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.logic.terms import Constant
+from repro.relational.schema import DatabaseSchema
+
+Row = tuple[object, ...]
+
+
+@dataclass
+class AccessStats:
+    """Counters for tuple accesses performed against a database."""
+
+    tuples_accessed: int = 0
+    indexed_lookups: int = 0
+    full_scans: int = 0
+
+    def reset(self) -> None:
+        self.tuples_accessed = 0
+        self.indexed_lookups = 0
+        self.full_scans = 0
+
+    def snapshot(self) -> "AccessStats":
+        return AccessStats(self.tuples_accessed, self.indexed_lookups, self.full_scans)
+
+    def since(self, earlier: "AccessStats") -> "AccessStats":
+        """The accesses performed between ``earlier`` and now."""
+        return AccessStats(
+            self.tuples_accessed - earlier.tuples_accessed,
+            self.indexed_lookups - earlier.indexed_lookups,
+            self.full_scans - earlier.full_scans,
+        )
+
+
+def _plain(value: object) -> object:
+    """Unwrap a :class:`Constant` into its underlying value."""
+    return value.value if isinstance(value, Constant) else value
+
+
+class Database:
+    """A database instance over a :class:`DatabaseSchema`.
+
+    Tuples are stored with set semantics but preserve insertion order.
+    Values must be hashable.  Hash indexes are created lazily per
+    ``(relation, positions)`` pair and maintained incrementally on insert.
+    """
+
+    __slots__ = ("schema", "stats", "_rows", "_indexes")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        data: Mapping[str, Iterable[Sequence[object]]] | None = None,
+    ):
+        self.schema = schema
+        self.stats = AccessStats()
+        self._rows: dict[str, dict[Row, None]] = {name: {} for name in schema.names}
+        self._indexes: dict[str, dict[tuple[int, ...], dict[Row, list[Row]]]] = {
+            name: {} for name in schema.names
+        }
+        if data:
+            for name, rows in data.items():
+                for row in rows:
+                    self.add(name, row)
+
+    # -- updates ---------------------------------------------------------
+
+    def add(self, relation: str, row: Sequence[object]) -> bool:
+        """Insert ``row`` into ``relation`` (validated against the schema).
+
+        Returns True if the tuple was new, False if it was already present.
+        """
+        rel = self.schema.relation(relation)
+        row = rel.validate_tuple(tuple(_plain(v) for v in row))
+        rows = self._rows[relation]
+        if row in rows:
+            return False
+        rows[row] = None
+        for positions, index in self._indexes[relation].items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    # -- reads (accounted) -----------------------------------------------
+
+    def lookup(self, relation: str, pattern: Mapping[int, object]) -> tuple[Row, ...]:
+        """All tuples of ``relation`` matching ``pattern`` (a mapping from
+        0-based positions to required values).
+
+        An empty pattern degenerates to a full scan; otherwise the lookup
+        goes through a hash index on the pattern's positions.  Accessed
+        tuples are counted in :attr:`stats`.
+        """
+        if not pattern:
+            return self.scan(relation)
+        rel = self.schema.relation(relation)
+        positions = tuple(sorted(pattern))
+        for p in positions:
+            if not 0 <= p < rel.arity:
+                raise SchemaError(
+                    f"position {p} out of range for relation {relation!r} "
+                    f"of arity {rel.arity}"
+                )
+        index = self._index_for(relation, positions)
+        key = tuple(_plain(pattern[p]) for p in positions)
+        rows = index.get(key, ())
+        self.stats.indexed_lookups += 1
+        self.stats.tuples_accessed += len(rows)
+        return tuple(rows)
+
+    def scan(self, relation: str) -> tuple[Row, ...]:
+        """All tuples of ``relation`` -- a full scan, counted as such."""
+        self.schema.relation(relation)
+        rows = tuple(self._rows[relation])
+        self.stats.full_scans += 1
+        self.stats.tuples_accessed += len(rows)
+        return rows
+
+    def contains(self, relation: str, row: Sequence[object]) -> bool:
+        """Membership probe via the all-positions hash index (accesses at
+        most one tuple)."""
+        rel = self.schema.relation(relation)
+        row = rel.validate_tuple(tuple(_plain(v) for v in row))
+        self.stats.indexed_lookups += 1
+        present = row in self._rows[relation]
+        if present:
+            self.stats.tuples_accessed += 1
+        return present
+
+    # -- unaccounted metadata --------------------------------------------
+
+    def size(self, relation: str | None = None) -> int:
+        """The number of tuples in ``relation``, or in the whole database."""
+        if relation is None:
+            return sum(len(rows) for rows in self._rows.values())
+        self.schema.relation(relation)
+        return len(self._rows[relation])
+
+    def active_domain(self) -> tuple[object, ...]:
+        """Every value occurring in the database, in first-occurrence order."""
+        return tuple(
+            dict.fromkeys(
+                value for rows in self._rows.values() for row in rows for value in row
+            )
+        )
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}: {len(rows)}" for name, rows in self._rows.items())
+        return f"Database({{{sizes}}})"
+
+    # -- internals -------------------------------------------------------
+
+    def _index_for(
+        self, relation: str, positions: tuple[int, ...]
+    ) -> dict[Row, list[Row]]:
+        index = self._indexes[relation].get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows[relation]:
+                index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            self._indexes[relation][positions] = index
+        return index

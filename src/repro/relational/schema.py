@@ -1,0 +1,146 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` names a relation and its attributes; a
+:class:`DatabaseSchema` is a collection of relation schemas.  All lookup
+and validation errors raise :class:`repro.errors.SchemaError`, so that a
+malformed query, tuple or access rule is rejected at the boundary instead
+of producing silently wrong answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.logic.ast import Atom, Formula
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name together with its ordered attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __init__(self, name: str, attributes: Iterable[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+        for attr in self.attributes:
+            if not attr:
+                raise SchemaError(f"relation {self.name!r} has an empty attribute name")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def position(self, attribute: str) -> int:
+        """The 0-based position of ``attribute``, or a SchemaError."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r} "
+                f"(attributes: {', '.join(self.attributes)})"
+            ) from None
+
+    def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        return tuple(self.position(a) for a in attributes)
+
+    def validate_tuple(self, row: Sequence[object]) -> tuple[object, ...]:
+        """Check the arity of ``row`` and return it as a plain tuple."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, "
+                f"but relation {self.name!r} has arity {self.arity}"
+            )
+        return row
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema:
+    """A named collection of relation schemas."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if not isinstance(rel, RelationSchema):
+                raise SchemaError(f"{rel!r} is not a RelationSchema")
+            if rel.name in self._relations:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            self._relations[rel.name] = rel
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseSchema) and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        # Order-insensitive, like __eq__ (dict equality ignores order).
+        return hash(frozenset(self._relations.values()))
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({list(self._relations.values())!r})"
+
+    def relation(self, name: str) -> RelationSchema:
+        """The schema of relation ``name``, or a SchemaError."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r} (known: {', '.join(self._relations) or 'none'})"
+            ) from None
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Check that ``atom`` refers to a known relation with the right
+        arity."""
+        rel = self.relation(atom.relation)
+        if atom.arity != rel.arity:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, "
+                f"but relation {rel.name!r} has arity {rel.arity}"
+            )
+
+    def validate_query(self, query) -> None:
+        """Validate every atom of a CQ/UCQ/FO query or bare formula."""
+        if isinstance(query, Formula):
+            atoms = query.atoms()
+        elif hasattr(query, "disjuncts"):
+            for disjunct in query.disjuncts:
+                self.validate_query(disjunct)
+            return
+        elif hasattr(query, "body"):
+            atoms = query.body
+        elif hasattr(query, "formula"):
+            atoms = query.formula.atoms()
+        else:
+            raise SchemaError(f"cannot validate {type(query).__name__}")
+        for atom in atoms:
+            self.validate_atom(atom)

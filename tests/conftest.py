@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running social-network example.
+
+A ``person(pid, name, city)`` / ``friend(pid1, pid2)`` schema with a small
+instance, and an access schema declaring the indexes a production
+deployment would have: friends are fetchable by follower id with bounded
+fan-out, and people are keyed by id.
+"""
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    Database,
+    DatabaseSchema,
+    RelationSchema,
+)
+
+
+@pytest.fixture
+def social_schema():
+    return DatabaseSchema(
+        [
+            RelationSchema("person", ["pid", "name", "city"]),
+            RelationSchema("friend", ["pid1", "pid2"]),
+        ]
+    )
+
+
+@pytest.fixture
+def social_db(social_schema):
+    return Database(
+        social_schema,
+        {
+            "person": [
+                (1, "ann", "NYC"),
+                (2, "bob", "NYC"),
+                (3, "cat", "SF"),
+                (4, "dan", "NYC"),
+                (5, "eve", "SF"),
+            ],
+            "friend": [
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (5, 1),
+            ],
+        },
+    )
+
+
+@pytest.fixture
+def social_access(social_schema):
+    return AccessSchema(
+        social_schema,
+        [
+            AccessRule("friend", ["pid1"], bound=5000),
+            AccessRule("person", ["pid"], bound=1),
+        ],
+    )

@@ -1,0 +1,131 @@
+"""Tests for the controllability fixpoint and controlling-set search."""
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    EmbeddedAccessRule,
+    Equality,
+    FullAccessRule,
+    SchemaError,
+    controlling_sets,
+    is_controlled,
+)
+from repro.core.controllability import coverage
+from repro.logic.terms import Variable
+
+Q1 = ConjunctiveQuery(
+    ["x"],
+    [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+)
+
+
+def test_controlled_with_parameter(social_access):
+    assert is_controlled(Q1, social_access, ["p"])
+
+
+def test_not_controlled_without_parameter(social_access):
+    assert not is_controlled(Q1, social_access)
+
+
+def test_constants_are_always_bound(social_access):
+    q = ConjunctiveQuery(["x"], [Atom("friend", [1, "?x"])])
+    assert is_controlled(q, social_access)
+
+
+def test_coverage_reports_uncovered_variables(social_access):
+    cov = coverage(Q1, social_access)
+    assert not cov.controlled
+    assert set(cov.uncovered) == {Variable("x"), Variable("p"), Variable("n")}
+
+
+def test_coverage_records_derivation(social_access):
+    cov = coverage(Q1, social_access, ["p"])
+    assert cov.controlled
+    assert [step.atom.relation for step in cov.steps] == ["friend", "person"]
+
+
+def test_propagation_chains_through_joins(social_schema):
+    # p bound -> friend fetch binds x -> friend fetch binds y
+    access = AccessSchema(social_schema, [AccessRule("friend", ["pid1"], bound=100)])
+    q = ConjunctiveQuery(
+        ["y"], [Atom("friend", ["?p", "?x"]), Atom("friend", ["?x", "?y"])]
+    )
+    assert is_controlled(q, access, ["p"])
+    assert not is_controlled(q, access, ["y"])  # rules only go forwards
+
+
+def test_full_access_rule_controls_small_relations(social_schema):
+    access = AccessSchema(
+        social_schema,
+        [FullAccessRule("person", bound=50), AccessRule("friend", ["pid1"], bound=100)],
+    )
+    q = ConjunctiveQuery(
+        ["x"], [Atom("person", ["?x", "?n", "?c"]), Atom("friend", ["?x", "?y"])]
+    )
+    assert is_controlled(q, access)
+
+
+def test_embedded_rule_binds_only_outputs(social_schema):
+    # friend(pid1 -> pid2, N) binds pid2; person has no rule, so ?n stays
+    # unreachable.
+    access = AccessSchema(
+        social_schema,
+        [EmbeddedAccessRule("friend", ["pid1"], ["pid2"], bound=100)],
+    )
+    q_reachable = ConjunctiveQuery(["x"], [Atom("friend", ["?p", "?x"])])
+    assert is_controlled(q_reachable, access, ["p"])
+    assert not is_controlled(Q1, access, ["p"])
+
+
+def test_equalities_transfer_bindings(social_access):
+    q = ConjunctiveQuery(
+        ["x"],
+        [Atom("friend", ["?q", "?x"])],
+        [Equality("?p", "?q")],
+    )
+    assert is_controlled(q, social_access, ["p"])
+
+
+def test_controlling_sets_minimal(social_access):
+    q = ConjunctiveQuery(
+        ["p", "x"],
+        [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+    )
+    sets = controlling_sets(q, social_access)
+    assert sets == ((Variable("p"),),)
+
+
+def test_controlling_sets_all(social_access):
+    q = ConjunctiveQuery(["p", "x"], [Atom("friend", ["?p", "?x"])])
+    all_sets = controlling_sets(q, social_access, minimal_only=False)
+    assert (Variable("p"),) in all_sets
+    assert (Variable("p"), Variable("x")) in all_sets
+
+
+def test_controlling_sets_empty_when_uncontrollable(social_schema):
+    access = AccessSchema(social_schema, [])
+    assert controlling_sets(Q1, access) == ()
+
+
+def test_access_rule_validation(social_schema):
+    with pytest.raises(SchemaError):
+        AccessSchema(social_schema, [AccessRule("enemy", ["pid1"], bound=1)])
+    with pytest.raises(SchemaError):
+        AccessSchema(social_schema, [AccessRule("friend", ["nope"], bound=1)])
+    with pytest.raises(SchemaError):
+        AccessRule("friend", ["pid1"], bound=0)
+    with pytest.raises(SchemaError):
+        EmbeddedAccessRule("friend", ["pid1"], ["pid1"], bound=1)
+
+
+def test_bound_is_mandatory_and_positive():
+    with pytest.raises(TypeError):
+        AccessRule("friend", ["pid1"])  # no bound: cannot certify anything
+    with pytest.raises(SchemaError, match="positive integer"):
+        AccessRule("friend", ["pid1"], bound=None)
+    with pytest.raises(SchemaError, match="positive integer"):
+        AccessRule("friend", ["pid1"], bound=True)

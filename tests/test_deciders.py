@@ -1,0 +1,76 @@
+"""Tests for the QSI and QDSI deciders."""
+
+import pytest
+
+from repro import (
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    FirstOrderQuery,
+    Not,
+    UndecidableError,
+    UnionOfConjunctiveQueries,
+    decide_qdsi,
+    decide_qsi,
+)
+
+Q1 = ConjunctiveQuery(
+    ["x"],
+    [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+)
+
+
+class TestQSI:
+    def test_controlled_cq_is_scale_independent(self, social_access):
+        result = decide_qsi(Q1, social_access, ["p"])
+        assert result
+        assert all(c.controlled for c in result.coverages)
+
+    def test_uncontrolled_cq_is_not(self, social_access):
+        result = decide_qsi(Q1, social_access)
+        assert not result
+        assert "not controlled" in result.reason
+
+    def test_ucq_needs_every_disjunct_controlled(self, social_access):
+        good = ConjunctiveQuery(["x"], [Atom("friend", ["?p", "?x"])])
+        bad = ConjunctiveQuery(["x"], [Atom("person", ["?x", "?n", "?c"])])
+        assert decide_qsi(
+            UnionOfConjunctiveQueries([good]), social_access, ["p"]
+        )
+        assert not decide_qsi(
+            UnionOfConjunctiveQueries([good, bad]), social_access, ["p"]
+        )
+
+    def test_fo_is_undecidable(self, social_access):
+        q = FirstOrderQuery(["x"], Not(Atom("friend", ["?x", 1])))
+        with pytest.raises(UndecidableError):
+            decide_qsi(q, social_access)
+
+
+class TestQDSI:
+    def test_plan_within_budget(self, social_db, social_access):
+        q = ConjunctiveQuery(["x"], [Atom("friend", [1, "?x"])])
+        result = decide_qdsi(q, social_db, social_access, budget=10)
+        assert result
+        assert result.plan is not None
+        assert set(result.answers) == {(2,), (3,)}
+        assert result.tuples_accessed <= 10
+
+    def test_budget_exceeded(self, social_db, social_access):
+        q = ConjunctiveQuery(["x"], [Atom("friend", [1, "?x"])])
+        result = decide_qdsi(q, social_db, social_access, budget=1)
+        assert not result
+        assert "over budget" in result.reason
+
+    def test_uncontrolled_query_on_small_database(self, social_db, social_access):
+        # Not controlled, but the concrete database is tiny: direct
+        # evaluation fits the budget, which is what makes QDSI data-specific.
+        q = ConjunctiveQuery(["x", "y"], [Atom("friend", ["?x", "?y"])])
+        result = decide_qdsi(q, social_db, social_access, budget=1000)
+        assert result
+        assert result.plan is None
+
+    def test_negative_budget_rejected(self, social_db, social_access):
+        q = ConjunctiveQuery(["x"], [Atom("friend", [1, "?x"])])
+        with pytest.raises(ValueError):
+            decide_qdsi(q, social_db, social_access, budget=-1)

@@ -1,0 +1,27 @@
+"""The package imports and exports everything it promises."""
+
+import importlib
+
+
+def test_every_exported_name_resolves():
+    repro = importlib.import_module("repro")
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing
+
+
+def test_rewriting_error_is_exported():
+    from repro import ReproError, RewritingError
+
+    assert "RewritingError" in importlib.import_module("repro").__all__
+    assert issubclass(RewritingError, ReproError)
+
+
+def test_subpackages_import():
+    for mod in (
+        "repro.logic",
+        "repro.logic.evaluation",
+        "repro.logic.homomorphism",
+        "repro.relational",
+        "repro.core",
+    ):
+        importlib.import_module(mod)

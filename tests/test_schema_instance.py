@@ -1,0 +1,112 @@
+"""Tests for the relational substrate: schema validation, hash indexes
+and access accounting."""
+
+import pytest
+
+from repro import Database, DatabaseSchema, RelationSchema, SchemaError
+from repro.logic.ast import Atom
+
+
+class TestSchemas:
+    def test_relation_schema_basics(self, social_schema):
+        person = social_schema.relation("person")
+        assert person.arity == 3
+        assert person.position("city") == 2
+        assert person.positions(["city", "pid"]) == (2, 0)
+
+    def test_unknown_relation_raises(self, social_schema):
+        with pytest.raises(SchemaError, match="unknown relation"):
+            social_schema.relation("enemy")
+
+    def test_unknown_attribute_raises(self, social_schema):
+        with pytest.raises(SchemaError, match="no attribute"):
+            social_schema.relation("person").position("age")
+
+    def test_duplicate_attributes_raise(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_duplicate_relations_raise(self):
+        r = RelationSchema("r", ["a"])
+        with pytest.raises(SchemaError):
+            DatabaseSchema([r, r])
+
+    def test_arity_validation(self, social_schema):
+        with pytest.raises(SchemaError, match="arity"):
+            social_schema.relation("friend").validate_tuple((1, 2, 3))
+        with pytest.raises(SchemaError, match="arity"):
+            social_schema.validate_atom(Atom("friend", ["?x"]))
+
+
+class TestDatabase:
+    def test_add_validates(self, social_db):
+        with pytest.raises(SchemaError):
+            social_db.add("friend", (1, 2, 3))
+        with pytest.raises(SchemaError):
+            social_db.add("enemy", (1, 2))
+
+    def test_set_semantics(self, social_db):
+        before = social_db.size("friend")
+        assert social_db.add("friend", (1, 2)) is False
+        assert social_db.size("friend") == before
+        assert social_db.add("friend", (2, 1)) is True
+
+    def test_lookup_uses_index_and_counts(self, social_db):
+        social_db.reset_stats()
+        rows = social_db.lookup("friend", {0: 1})
+        assert set(rows) == {(1, 2), (1, 3)}
+        assert social_db.stats.indexed_lookups == 1
+        assert social_db.stats.tuples_accessed == 2
+        assert social_db.stats.full_scans == 0
+
+    def test_empty_pattern_is_a_scan(self, social_db):
+        social_db.reset_stats()
+        rows = social_db.lookup("friend", {})
+        assert len(rows) == social_db.size("friend")
+        assert social_db.stats.full_scans == 1
+
+    def test_index_is_maintained_on_insert(self, social_db):
+        assert social_db.lookup("friend", {0: 4}) == ((4, 5),)
+        social_db.add("friend", (4, 1))
+        assert set(social_db.lookup("friend", {0: 4})) == {(4, 5), (4, 1)}
+
+    def test_out_of_range_position_raises(self, social_db):
+        with pytest.raises(SchemaError, match="out of range"):
+            social_db.lookup("friend", {5: 1})
+
+    def test_contains_probe(self, social_db):
+        social_db.reset_stats()
+        assert social_db.contains("friend", (1, 2))
+        assert not social_db.contains("friend", (2, 1))
+        assert social_db.stats.tuples_accessed == 1
+        assert social_db.stats.full_scans == 0
+
+    def test_active_domain(self, social_schema):
+        db = Database(social_schema, {"friend": [(1, 2), (2, 3)]})
+        assert db.active_domain() == (1, 2, 3)
+
+    def test_stats_snapshot_delta(self, social_db):
+        before = social_db.stats.snapshot()
+        social_db.lookup("friend", {0: 1})
+        delta = social_db.stats.since(before)
+        assert delta.indexed_lookups == 1
+        assert delta.tuples_accessed == 2
+
+
+class TestHashEqContract:
+    def test_schema_hash_is_order_insensitive_like_eq(self):
+        a = RelationSchema("a", ["x"])
+        b = RelationSchema("b", ["y"])
+        s1, s2 = DatabaseSchema([a, b]), DatabaseSchema([b, a])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert len({s1, s2}) == 1
+
+
+class TestValidateQueryShapes:
+    def test_bare_quantified_formula(self, social_schema):
+        from repro import Atom, Exists
+
+        social_schema.validate_query(Exists("x", Atom("friend", ["?x", "?y"])))
+        with pytest.raises(SchemaError):
+            social_schema.validate_query(Exists("x", Atom("friend", ["?x"])))
