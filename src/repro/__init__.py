@@ -2,26 +2,30 @@
 
 The package is organised as follows:
 
+* :mod:`repro.api` -- the documented front door: the :class:`Engine`
+  facade binding a schema, an access schema and a database, with textual
+  Datalog-style queries, an LRU cache of compiled plans, and bounded
+  execution returning :class:`ResultSet` rows plus access statistics.
 * :mod:`repro.logic` -- the query languages of the paper (CQ, UCQ, FO) with
-  active-domain semantics, homomorphisms and containment.
-* :mod:`repro.relational` -- the relational substrate: schemas, instances,
-  hash indexes with tuple-access accounting, relational algebra.
-* :mod:`repro.core` -- the paper's primary contribution: access schemas,
-  controllability, scale-independent query plans and the decision problems
-  QDSI, QSI, QCntl and QCntlmin.
-* :mod:`repro.incremental` -- incremental scale independence (Section 5):
-  change propagation, the ``RA_A`` rule system and the ``\\Delta QSI`` decider.
-* :mod:`repro.views` -- scale independence using views (Section 6): CQ
-  rewriting using views, constrained variables and the VQSI decider.
-* :mod:`repro.workloads` -- synthetic social-network workloads and the
-  paper's running queries Q1/Q2/Q3 and views V1/V2.
-* :mod:`repro.bench` -- the experiment harness used by ``benchmarks/``.
+  active-domain semantics, homomorphisms and containment, plus the
+  Datalog-style parser (:mod:`repro.logic.parser`).
+* :mod:`repro.relational` -- the relational substrate: schemas (with a
+  textual DSL), instances, hash indexes with tuple-access accounting.
+* :mod:`repro.core` -- the paper's primary contribution: access schemas
+  (with a textual rule DSL), controllability, scale-independent query
+  plans and the decision problems QDSI, QSI, QCntl and QCntlmin.
+
+Planned (tracked in ROADMAP.md, not yet implemented): ``repro.incremental``
+(incremental scale independence, Section 5), ``repro.views`` (scale
+independence using views, Section 6), ``repro.workloads`` (synthetic
+social-network workloads) and ``repro.bench`` (the experiment harness).
 
 The most frequently used names are re-exported here for convenience.
 """
 
 from repro.errors import (
     NotControlledError,
+    ParseError,
     ReproError,
     RewritingError,
     SchemaError,
@@ -33,21 +37,38 @@ from repro.logic.ast import Atom, Equality, And, Or, Not, Exists, Forall, Implie
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.ucq import UnionOfConjunctiveQueries
 from repro.logic.fo import FirstOrderQuery
-from repro.relational.schema import DatabaseSchema, RelationSchema
-from repro.relational.instance import Database
-from repro.core.access_schema import AccessRule, AccessSchema, EmbeddedAccessRule, FullAccessRule
-from repro.core.controllability import controlling_sets, is_controlled
-from repro.core.plans import compile_plan
-from repro.core.qdsi import decide_qdsi
-from repro.core.qsi import decide_qsi
+from repro.logic.parser import parse_cq, parse_query
+from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
+from repro.relational.instance import AccessStats, Database
+from repro.core.access_schema import (
+    AccessRule,
+    AccessSchema,
+    EmbeddedAccessRule,
+    FullAccessRule,
+    parse_access_schema,
+)
+from repro.core.controllability import (
+    Coverage,
+    CoverageStep,
+    controlling_sets,
+    coverage,
+    is_controlled,
+)
+from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
+from repro.core.qdsi import QDSIResult, decide_qdsi
+from repro.core.qsi import QSIResult, decide_qsi
+from repro.api import CacheStats, Engine, PreparedQuery, ResultSet
 
 __all__ = [
+    # errors
     "ReproError",
     "SchemaError",
     "UpdateError",
     "UndecidableError",
     "NotControlledError",
     "RewritingError",
+    "ParseError",
+    # terms and formulas
     "Variable",
     "Constant",
     "Atom",
@@ -58,21 +79,44 @@ __all__ = [
     "Exists",
     "Forall",
     "Implies",
+    # queries and parsing
     "ConjunctiveQuery",
     "UnionOfConjunctiveQueries",
     "FirstOrderQuery",
+    "parse_query",
+    "parse_cq",
+    # relational substrate
     "RelationSchema",
     "DatabaseSchema",
+    "parse_schema",
     "Database",
+    "AccessStats",
+    # access schemas
     "AccessRule",
     "EmbeddedAccessRule",
     "FullAccessRule",
     "AccessSchema",
+    "parse_access_schema",
+    # controllability and plans
+    "Coverage",
+    "CoverageStep",
+    "coverage",
     "controlling_sets",
     "is_controlled",
+    "Plan",
+    "FetchStep",
+    "ProbeStep",
     "compile_plan",
+    # deciders
+    "QDSIResult",
     "decide_qdsi",
+    "QSIResult",
     "decide_qsi",
+    # the Engine facade
+    "Engine",
+    "PreparedQuery",
+    "ResultSet",
+    "CacheStats",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,94 @@
+"""The engine's LRU cache of compiled plans.
+
+Compiling a scale-independent plan (:func:`repro.core.plans.compile_plan`)
+walks the controllability fixpoint once per body atom; for the repeated
+parameterized queries the Engine is built for, that work is identical on
+every call.  The cache memoizes compiled plans keyed by ``(query,
+parameter-name set)`` -- parameter *values* do not affect the plan -- and
+is invalidated wholesale whenever the access schema changes, since every
+plan embeds the rules it fetches through.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the plan cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    maxsize: int | None
+
+    @property
+    def compilations(self) -> int:
+        """Plans are compiled exactly on cache misses."""
+        return self.misses
+
+
+class PlanCache:
+    """A small LRU mapping with hit/miss/eviction accounting.
+
+    ``maxsize=None`` means unbounded; ``maxsize=0`` disables caching
+    (every probe misses and stores nothing).
+    """
+
+    __slots__ = ("maxsize", "_entries", "_hits", "_misses", "_evictions", "_invalidations")
+
+    def __init__(self, maxsize: int | None = 128):
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be None or >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value for ``key`` (refreshing its recency), or None."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (the schema underlying the plans changed)."""
+        self._entries.clear()
+        self._invalidations += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )

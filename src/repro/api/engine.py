@@ -1,0 +1,402 @@
+"""The Engine facade: the paper's workflow as one object.
+
+An :class:`Engine` binds the three ingredients of scale independence --
+a :class:`~repro.relational.schema.DatabaseSchema`, an
+:class:`~repro.core.access_schema.AccessSchema` and a
+:class:`~repro.relational.instance.Database` -- and exposes each step of
+Fan, Geerts & Libkin's pipeline (parse, controllability check, plan
+compilation, bounded execution) as a method call::
+
+    engine = Engine(
+        "Person(pid, name, city); Friend(pid1, pid2)",
+        "Friend(pid1 -> 5000); Person(pid -> 1)",
+        data={"Person": [...], "Friend": [...]},
+    )
+    q = engine.query("Q(y) :- Friend(p, y), Person(y, n, 'NYC')")
+    q.is_controlled(["p"])        # fixpoint propagation
+    print(q.explain(["p"]))       # the bounded fetch/join plan
+    result = q.execute(p=42)      # ResultSet: rows + access statistics
+
+Compiled plans are memoized in an LRU cache keyed by ``(query, parameter
+set)`` (:mod:`repro.api.cache`), so a repeated ``execute`` with the same
+parameter names -- the hot path of a parameterized workload -- skips
+:func:`~repro.core.plans.compile_plan` entirely.  Replacing the access
+schema invalidates the cache, since plans embed access rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.api.cache import CacheStats, PlanCache
+from repro.core.access_schema import AccessSchema
+from repro.core.plans import Plan, compile_plan, merge_parameter_values
+from repro.core.qdsi import QDSIResult, decide_qdsi
+from repro.core.qsi import QSIResult, decide_qsi
+from repro.errors import SchemaError
+from repro.logic.ast import _as_variable
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.parser import parse_query
+from repro.logic.terms import Variable
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import AccessStats, Database
+from repro.relational.schema import DatabaseSchema
+
+Row = tuple[object, ...]
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+
+class ResultSet:
+    """The rows of one execution together with its access accounting.
+
+    Behaves like a read-only sequence of answer tuples; ``stats`` is the
+    :class:`~repro.relational.instance.AccessStats` delta attributable to
+    this execution and ``fanout_bound`` the plans' a-priori bound on
+    tuples accessed (None when no plan was used).
+    """
+
+    __slots__ = ("rows", "columns", "stats", "fanout_bound")
+
+    def __init__(
+        self,
+        rows: Iterable[Row],
+        columns: tuple[str, ...],
+        stats: AccessStats,
+        fanout_bound: int | None = None,
+    ):
+        self.rows = tuple(rows)
+        self.columns = columns
+        self.stats = stats
+        self.fanout_bound = fanout_bound
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def __contains__(self, row: object) -> bool:
+        # Only list/tuple coerce: str is a Sequence but tuple("NYC") is
+        # a character tuple, not a row.
+        return tuple(row) in self.rows if isinstance(row, (list, tuple)) else False
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResultSet):
+            return self.rows == other.rows
+        if isinstance(other, (list, tuple, set, frozenset)):
+            try:
+                coerced = [tuple(row) for row in other]
+            except TypeError:
+                return NotImplemented
+            if isinstance(other, (set, frozenset)):
+                return set(self.rows) == set(coerced)
+            return self.rows == tuple(coerced)
+        return NotImplemented
+
+    # Equality against a set is order-insensitive, so hashing the ordered
+    # rows would break the eq/hash contract; like a list, a ResultSet is
+    # simply unhashable (use ``result.rows`` as a key instead).
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultSet({len(self.rows)} rows, "
+            f"{self.stats.tuples_accessed} tuples accessed)"
+        )
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """The rows as dictionaries keyed by the head variable names."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class PreparedQuery:
+    """A parsed, schema-validated query bound to an :class:`Engine`.
+
+    All plan-producing methods go through the engine's plan cache; the
+    parameter argument is an iterable of variable names (``"p"`` or
+    ``"?p"``) or :class:`~repro.logic.terms.Variable` objects.
+    """
+
+    __slots__ = ("query", "text", "_engine")
+
+    def __init__(self, engine: "Engine", query: Query, text: str | None = None):
+        self._engine = engine
+        self.query = query
+        self.text = text if text is not None else str(query)
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({str(self.query)!r})"
+
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The names of the answer columns (the head variables)."""
+        if isinstance(self.query, ConjunctiveQuery):
+            return tuple(v.name for v in self.query.head)
+        return tuple(v.name for v in self.query.disjuncts[0].head)
+
+    def is_controlled(self, parameters: Iterable[object] = ()) -> bool:
+        """Whether fixing ``parameters`` bounds every variable through the
+        engine's access rules (every disjunct, for a union).
+
+        Like every other plan-facing method, ``parameters`` must occur in
+        the query (in every disjunct, for a union) -- otherwise ValueError,
+        so the verdict can never disagree with :meth:`plan`/:meth:`execute`.
+        """
+        return bool(self.decide_qsi(parameters))
+
+    def decide_qsi(self, parameters: Iterable[object] = ()) -> QSIResult:
+        """The QSI verdict for this query under the engine's access schema."""
+        # Normalize once: ``parameters`` may be a one-shot iterable.
+        params = _parameter_names(parameters)
+        self._check_parameters(params)
+        return decide_qsi(self.query, self._engine.access, params)
+
+    def decide_qdsi(self, budget: int) -> QDSIResult:
+        """The QDSI verdict on the engine's database within ``budget``
+        tuple accesses."""
+        return decide_qdsi(
+            self.query, self._engine.require_database(), self._engine.access, budget
+        )
+
+    def plan(self, parameters: Iterable[object] = ()) -> Plan | tuple[Plan, ...]:
+        """The compiled scale-independent plan (one per disjunct for a
+        union), via the engine's plan cache.
+
+        Raises :class:`repro.errors.NotControlledError` if the query is
+        not controlled by ``parameters``.
+        """
+        plans = self._engine._plans_for(self.query, _parameter_names(parameters))
+        return plans[0] if isinstance(self.query, ConjunctiveQuery) else plans
+
+    def explain(self, parameters: Iterable[object] = ()) -> str:
+        """A human-readable rendering of the plan(s) for ``parameters``."""
+        plans = self._engine._plans_for(self.query, _parameter_names(parameters))
+        if len(plans) == 1:
+            return plans[0].explain()
+        sections = [
+            f"disjunct {i}: {plan.query}\n{plan.explain()}"
+            for i, plan in enumerate(plans, 1)
+        ]
+        total = sum(plan.fanout_bound for plan in plans)
+        return "\n\n".join(sections) + f"\n\ntotal access bound: {total} tuples"
+
+    def execute(
+        self,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> ResultSet:
+        """Compile (or fetch from cache) the plan for the given parameter
+        names, run it on the engine's database, and return a
+        :class:`ResultSet` with the rows and the access-statistics delta.
+
+        Parameter values may be passed as a mapping and/or as keyword
+        arguments: ``q.execute(p=42)``.
+        """
+        values = merge_parameter_values(parameters, kwargs)
+        database = self._engine.require_database()
+        plans = self._engine._plans_for(self.query, frozenset(values))
+        before = database.stats.snapshot()
+        rows: dict[Row, None] = {}
+        for plan in plans:
+            for row in plan.execute(database, values):
+                rows.setdefault(row, None)
+        stats = database.stats.since(before)
+        fanout = sum(plan.fanout_bound for plan in plans)
+        return ResultSet(rows, self.columns, stats, fanout)
+
+    def _check_parameters(self, parameters: frozenset[Variable]) -> None:
+        """Reject parameter variables that do not occur in the query (in
+        every disjunct, for a union) -- the same check that
+        :func:`compile_plan` applies, so the QSI verdict and the
+        plan-producing methods always agree on which parameter sets are
+        valid."""
+        if isinstance(self.query, ConjunctiveQuery):
+            disjuncts: tuple[ConjunctiveQuery, ...] = (self.query,)
+        else:
+            disjuncts = self.query.disjuncts
+        for disjunct in disjuncts:
+            missing = parameters - set(disjunct.variables())
+            if missing:
+                raise ValueError(
+                    "parameters not occurring in the query: "
+                    + ", ".join(sorted(f"?{v}" for v in missing))
+                )
+
+
+class Engine:
+    """The front door: a schema, an access schema and a database, with
+    textual queries, plan caching and bounded execution on top.
+
+    ``schema`` and ``access`` may be given as objects or as DSL text
+    (parsed with :meth:`DatabaseSchema.parse` / :meth:`AccessSchema.parse`);
+    ``data`` may be a :class:`Database` or a ``{relation: rows}`` mapping.
+    Omitting ``access`` means "no access rules" (nothing is controlled);
+    omitting ``data`` leaves the engine planning-only until one is bound.
+    """
+
+    __slots__ = ("_schema", "_access", "_database", "_cache")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema | str,
+        access: AccessSchema | str | None = None,
+        data: Database | Mapping[str, Iterable[Sequence[object]]] | None = None,
+        *,
+        plan_cache_size: int | None = 128,
+    ):
+        if isinstance(schema, str):
+            schema = DatabaseSchema.parse(schema)
+        elif not isinstance(schema, DatabaseSchema):
+            raise SchemaError(f"{schema!r} is not a DatabaseSchema or schema text")
+        self._schema = schema
+        self._cache = PlanCache(plan_cache_size)
+        self._access = self._coerce_access(access)
+        self._database: Database | None = None
+        if data is not None:
+            self.database = data if isinstance(data, Database) else Database(schema, data)
+
+    # -- bound components ------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    @property
+    def access(self) -> AccessSchema:
+        return self._access
+
+    @access.setter
+    def access(self, access: AccessSchema | str | None) -> None:
+        """Replace the access schema.  Every cached plan embeds access
+        rules, so the plan cache is invalidated."""
+        self._access = self._coerce_access(access)
+        self._cache.invalidate()
+
+    @property
+    def database(self) -> Database | None:
+        return self._database
+
+    @database.setter
+    def database(self, database: Database | None) -> None:
+        if database is not None:
+            if not isinstance(database, Database):
+                raise SchemaError(f"{database!r} is not a Database")
+            if database.schema != self._schema:
+                raise SchemaError(
+                    "database schema does not match the engine's schema"
+                )
+        self._database = database
+
+    def _coerce_access(self, access: AccessSchema | str | None) -> AccessSchema:
+        if access is None:
+            return AccessSchema(self._schema, ())
+        if isinstance(access, str):
+            return AccessSchema.parse(self._schema, access)
+        if not isinstance(access, AccessSchema):
+            raise SchemaError(f"{access!r} is not an AccessSchema or access-rule text")
+        if access.schema != self._schema:
+            raise SchemaError("access schema is over a different database schema")
+        return access
+
+    def require_database(self) -> Database:
+        """The bound database, or a SchemaError telling the caller to bind
+        one."""
+        if self._database is None:
+            raise SchemaError(
+                "no database is bound to the engine; pass data= or set "
+                "engine.database before executing"
+            )
+        return self._database
+
+    # -- data loading ----------------------------------------------------
+
+    def load(self, data: Mapping[str, Iterable[Sequence[object]]]) -> "Engine":
+        """Insert ``{relation: rows}`` into the bound database (creating an
+        empty one first if none is bound).  Returns the engine, so loading
+        chains off the constructor."""
+        if self._database is None:
+            self._database = Database(self._schema)
+        for relation, rows in data.items():
+            for row in rows:
+                self._database.add(relation, row)
+        return self
+
+    def add(self, relation: str, row: Sequence[object]) -> bool:
+        """Insert one tuple (creating an empty database if none is bound)."""
+        if self._database is None:
+            self._database = Database(self._schema)
+        return self._database.add(relation, row)
+
+    # -- the workflow ----------------------------------------------------
+
+    def query(self, query: str | Query) -> PreparedQuery:
+        """Parse (if textual) and schema-validate ``query``, returning a
+        :class:`PreparedQuery` bound to this engine."""
+        if isinstance(query, str):
+            parsed = parse_query(query, schema=self._schema)
+            return PreparedQuery(self, parsed, query)
+        if not isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+            raise TypeError(
+                f"expected query text, a ConjunctiveQuery or a "
+                f"UnionOfConjunctiveQueries, got {type(query).__name__}"
+            )
+        self._schema.validate_query(query)
+        return PreparedQuery(self, query)
+
+    def execute(
+        self,
+        query: str | Query,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> ResultSet:
+        """One-shot convenience: ``engine.query(q).execute(...)``."""
+        return self.query(query).execute(parameters, **kwargs)
+
+    def explain(self, query: str | Query, parameters: Iterable[object] = ()) -> str:
+        """One-shot convenience: ``engine.query(q).explain(...)``."""
+        return self.query(query).explain(parameters)
+
+    # -- plan cache ------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters and current size of the plan cache."""
+        return self._cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        self._cache.invalidate()
+
+    def _plans_for(
+        self, query: Query, parameters: frozenset[Variable]
+    ) -> tuple[Plan, ...]:
+        key = (query, parameters)
+        plans = self._cache.get(key)
+        if plans is None:
+            # Compile with a deterministic parameter order; values are
+            # matched by name at execution time, so order is cosmetic.
+            params = tuple(sorted(parameters, key=lambda v: v.name))
+            if isinstance(query, ConjunctiveQuery):
+                plans = (compile_plan(query, self._access, params),)
+            else:
+                plans = tuple(
+                    compile_plan(disjunct, self._access, params)
+                    for disjunct in query.disjuncts
+                )
+            self._cache.put(key, plans)
+        return plans
+
+
+def _parameter_names(parameters: Iterable[object]) -> frozenset[Variable]:
+    return frozenset(_as_variable(p) for p in parameters)

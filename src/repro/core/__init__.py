@@ -6,6 +6,7 @@ from repro.core.access_schema import (
     AccessSchema,
     EmbeddedAccessRule,
     FullAccessRule,
+    parse_access_schema,
 )
 from repro.core.controllability import (
     Coverage,
@@ -23,6 +24,7 @@ __all__ = [
     "FullAccessRule",
     "EmbeddedAccessRule",
     "AccessSchema",
+    "parse_access_schema",
     "Coverage",
     "CoverageStep",
     "coverage",

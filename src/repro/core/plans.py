@@ -147,10 +147,7 @@ class Plan:
         Parameter values may be passed as a mapping (keys are variables or
         their names) and/or as keyword arguments.
         """
-        values: Assignment = {}
-        for source in (parameters or {}), kwargs:
-            for key, value in source.items():
-                values[_as_variable(key)] = value
+        values = merge_parameter_values(parameters, kwargs)
         declared = set(self.parameters)
         extra = [v for v in values if v not in declared]
         if extra:
@@ -229,6 +226,19 @@ class Plan:
             extended = _extend(atom, row, assignment)
             if extended is not None:
                 yield from self._run(db, i + 1, extended)
+
+
+def merge_parameter_values(
+    parameters: Mapping[object, object] | None, kwargs: Mapping[str, object]
+) -> Assignment:
+    """Merge a parameter mapping and keyword arguments into one
+    variable-keyed assignment (kwargs win on collision).  Shared by
+    :meth:`Plan.execute` and the Engine facade."""
+    values: Assignment = {}
+    for source in (parameters or {}), kwargs:
+        for key, value in source.items():
+            values[_as_variable(key)] = value
+    return values
 
 
 def _matches(atom: Atom, row: Row, assignment: Mapping[Variable, object]) -> bool:

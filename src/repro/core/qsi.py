@@ -60,6 +60,8 @@ def decide_qsi(
     else:
         raise TypeError(f"cannot decide QSI for {type(query).__name__}")
 
+    # Materialize: a one-shot iterable must survive one pass per disjunct.
+    parameters = tuple(parameters)
     coverages = tuple(coverage(q, access, parameters) for q in disjuncts)
     failing = [
         (q, c) for q, c in zip(disjuncts, coverages) if not c.controlled

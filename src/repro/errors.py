@@ -21,6 +21,23 @@ class UndecidableError(ReproError):
     class (e.g. QSI or VQSI for full first-order logic)."""
 
 
+class ParseError(ReproError):
+    """The textual form of a query, schema or access schema is malformed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known; the rendered message always includes them.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        elif line is not None:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+
+
 class NotControlledError(ReproError):
     """A scale-independent plan was requested for a query that is not
     controlled by the given variables under the given access schema."""

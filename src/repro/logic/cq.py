@@ -125,6 +125,10 @@ class ConjunctiveQuery:
     def __str__(self) -> str:
         head = ", ".join(f"?{v}" for v in self.head)
         parts = [str(a) for a in self.body] + [str(e) for e in self.equalities]
+        if not parts:
+            # A body-less query renders without the arrow so that the
+            # rendering stays parseable (see repro.logic.parser).
+            return f"Q({head})"
         return f"Q({head}) <- {', '.join(parts)}"
 
     @property

@@ -1,0 +1,407 @@
+"""Datalog-style concrete syntax for the paper's queries.
+
+This module is the textual front door to :mod:`repro.logic`: a hand-written
+tokenizer and recursive-descent parser for conjunctive queries and unions
+thereof, in the rule syntax used throughout the literature::
+
+    Q(x, y) :- Person(x, 'NYC'), Friend(x, y)
+    Q(x) :- Employee(x, _) ; Q(x) :- Contractor(x)
+
+* A rule is ``Head :- Body`` (``<-`` is accepted as a synonym, so the
+  renderings produced by :meth:`ConjunctiveQuery.__str__` parse back).
+* The body is a comma-separated list of relational atoms and equalities
+  (``x = 'NYC'``).
+* ``;`` separates the disjuncts of a union (the keyword ``UNION`` is
+  accepted as a synonym, matching :meth:`UnionOfConjunctiveQueries.__str__`).
+* Variables are bare identifiers (``x``) or ``?``-prefixed ones (``?x``);
+  a lone ``_`` is a wildcard that becomes a fresh variable per occurrence.
+* Constants are quoted strings (``'NYC'``, ``"O'Hare"``, with Python
+  escape sequences), numbers (``42``, ``-1``, ``2.5``, ``1e-3``, ``inf``,
+  ``-inf``, ``nan``) and the keywords ``True``, ``False`` and ``None``.
+* ``#`` starts a comment running to the end of the line.
+
+Every syntax error raises :class:`repro.errors.ParseError` carrying the
+1-based line and column of the offending token.  Parsing is the inverse of
+rendering: for every :class:`ConjunctiveQuery` ``q`` whose variable names
+are identifiers and whose constants are strings, numbers, booleans or
+``None``, ``parse_query(str(q)) == q``; the same holds for every such
+:class:`UnionOfConjunctiveQueries` with two or more disjuncts (a
+one-disjunct union renders, and hence parses back, as its single CQ).
+The one numeric exception is NaN: ``'nan'`` parses to a *fresh*
+``Constant(float('nan'))``, which compares unequal to every other NaN
+constant because :class:`~repro.logic.terms.Constant` equality is
+identity-or-equality.
+
+The token stream (:func:`tokenize` / :class:`TokenStream`) is shared with
+the schema DSL of :meth:`repro.relational.schema.DatabaseSchema.parse` and
+the access-schema DSL of :meth:`repro.core.access_schema.AccessSchema.parse`.
+"""
+
+from __future__ import annotations
+
+import ast as _pyast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ParseError
+from repro.logic.ast import Atom, Equality
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Constant, Term, Variable
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+# -- tokens ----------------------------------------------------------------
+
+IDENT = "identifier"
+VARIABLE = "variable"
+STRING = "string"
+NUMBER = "number"
+LPAREN = "("
+RPAREN = ")"
+LBRACE = "{"
+RBRACE = "}"
+COMMA = ","
+SEMICOLON = ";"
+EQUALS = "="
+COLON = ":"
+STAR = "*"
+RULE_ARROW = ":-"
+ARROW = "->"
+END = "end of input"
+
+_PUNCT = {
+    "(": LPAREN,
+    ")": RPAREN,
+    "{": LBRACE,
+    "}": RBRACE,
+    ",": COMMA,
+    ";": SEMICOLON,
+    "=": EQUALS,
+    ":": COLON,
+    "*": STAR,
+}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(
+    r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+(?:[eE][+-]?\d+)?|\d+)"
+)
+# repr() of non-finite floats: 'inf' and 'nan' are keyword constants (below),
+# but their negative forms need the tokenizer's help since a lone '-' is not
+# part of any other token.
+_NEGATIVE_NONFINITE_RE = re.compile(r"-(?:inf|nan)(?![A-Za-z0-9_])")
+
+# Keyword constants, rendered by ``repr`` and so by ``Constant.__str__``.
+_KEYWORD_CONSTANTS = {
+    "True": True,
+    "False": False,
+    "None": None,
+    "inf": float("inf"),
+    "nan": float("nan"),
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: its kind, source text, position and (for literals) value."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+    value: object = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        if self.kind is END:
+            return END
+        if self.kind in (IDENT, VARIABLE, STRING, NUMBER):
+            return f"{self.kind} {self.text!r}"
+        return f"'{self.text}'"
+
+
+def tokenize(text: str) -> tuple[Token, ...]:
+    """Split ``text`` into tokens, ending with a single END token.
+
+    Raises :class:`ParseError` on characters outside the language and on
+    unterminated string literals.
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    line, line_start = 1, 0
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        column = i - line_start + 1
+        two = text[i : i + 2]
+        if two in (":-", "<-"):
+            tokens.append(Token(RULE_ARROW, two, line, column))
+            i += 2
+            continue
+        if two == "->":
+            tokens.append(Token(ARROW, two, line, column))
+            i += 2
+            continue
+        if ch == "?":
+            m = _IDENT_RE.match(text, i + 1)
+            if m is None:
+                raise ParseError("expected a variable name after '?'", line, column)
+            tokens.append(Token(VARIABLE, text[i : m.end()], line, column))
+            i = m.end()
+            continue
+        if ch in "'\"":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, column)
+            literal = text[i : j + 1]
+            try:
+                value = _pyast.literal_eval(literal)
+            except (ValueError, SyntaxError):
+                raise ParseError(
+                    f"malformed string literal {literal}", line, column
+                ) from None
+            tokens.append(Token(STRING, literal, line, column, value))
+            # Backslash line-continuations let a literal span source lines;
+            # keep the line accounting right for every later token.
+            if "\n" in literal:
+                line += literal.count("\n")
+                line_start = i + literal.rfind("\n") + 1
+            i = j + 1
+            continue
+        m = _NUMBER_RE.match(text, i)
+        if m is not None:
+            literal = m.group()
+            is_float = any(c in literal for c in ".eE")
+            tokens.append(
+                Token(NUMBER, literal, line, column, float(literal) if is_float else int(literal))
+            )
+            i = m.end()
+            continue
+        m = _NEGATIVE_NONFINITE_RE.match(text, i)
+        if m is not None:
+            tokens.append(Token(NUMBER, m.group(), line, column, float(m.group())))
+            i = m.end()
+            continue
+        m = _IDENT_RE.match(text, i)
+        if m is not None:
+            tokens.append(Token(IDENT, m.group(), line, column))
+            i = m.end()
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, line, column))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(END, "", line, (n - line_start) + 1))
+    return tuple(tokens)
+
+
+class TokenStream:
+    """A cursor over a token tuple with the usual peek/take/expect helpers."""
+
+    __slots__ = ("tokens", "_pos")
+
+    def __init__(self, tokens: Iterable[Token]):
+        self.tokens = tuple(tokens)
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, kind: str, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind == kind
+
+    def at_end(self) -> bool:
+        return self.at(END)
+
+    def take(self) -> Token:
+        token = self.peek()
+        if token.kind is not END:
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            if what is None:
+                what = kind if kind in (IDENT, VARIABLE, STRING, NUMBER, END) else f"'{kind}'"
+            raise ParseError(
+                f"expected {what}, got {token.describe()}", token.line, token.column
+            )
+        return self.take()
+
+    def error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(message, token.line, token.column)
+
+
+# -- query parsing ---------------------------------------------------------
+
+
+class _QueryParser:
+    def __init__(self, stream: TokenStream, schema=None):
+        self.stream = stream
+        self.schema = schema
+        # Wildcards become fresh variables named _1, _2, ...; pre-collect
+        # every name in the input so a fresh name never collides with one
+        # the user wrote explicitly.
+        self._used_names = {
+            t.text[1:] if t.kind is VARIABLE else t.text
+            for t in stream.tokens
+            if t.kind in (VARIABLE, IDENT)
+        }
+        self._wildcards = 0
+
+    def _fresh_wildcard(self) -> Variable:
+        while True:
+            self._wildcards += 1
+            name = f"_{self._wildcards}"
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return Variable(name)
+
+    def parse(self) -> ConjunctiveQuery | UnionOfConjunctiveQueries:
+        stream = self.stream
+        first_token = stream.peek()
+        disjuncts = [self._rule()]
+        while self._at_union_separator():
+            stream.take()
+            disjuncts.append(self._rule())
+        if not stream.at_end():
+            raise stream.error(
+                f"expected ';', 'UNION' or end of input, got {stream.peek().describe()}"
+            )
+        if len(disjuncts) == 1:
+            return disjuncts[0]
+        try:
+            return UnionOfConjunctiveQueries(disjuncts)
+        except ValueError as exc:
+            raise ParseError(str(exc), first_token.line, first_token.column) from None
+
+    def _at_union_separator(self) -> bool:
+        token = self.stream.peek()
+        return token.kind is SEMICOLON or (token.kind is IDENT and token.text == "UNION")
+
+    def _rule(self) -> ConjunctiveQuery:
+        stream = self.stream
+        start = stream.expect(IDENT, "a rule head")
+        head = self._head_terms()
+        body: list[Atom] = []
+        equalities: list[Equality] = []
+        if stream.at(RULE_ARROW):
+            stream.take()
+            self._conjunct(body, equalities)
+            while stream.at(COMMA):
+                stream.take()
+                self._conjunct(body, equalities)
+        try:
+            return ConjunctiveQuery(head, body, equalities)
+        except ValueError as exc:
+            raise ParseError(str(exc), start.line, start.column) from None
+
+    def _head_terms(self) -> list[Variable]:
+        stream = self.stream
+        stream.expect(LPAREN)
+        head: list[Variable] = []
+        if not stream.at(RPAREN):
+            while True:
+                token = stream.peek()
+                term = self._term()
+                if not isinstance(term, Variable) or token.text == "_":
+                    raise stream.error(
+                        f"head terms must be named variables, got {token.describe()}",
+                        token,
+                    )
+                head.append(term)
+                if not stream.at(COMMA):
+                    break
+                stream.take()
+        stream.expect(RPAREN)
+        return head
+
+    def _conjunct(self, body: list[Atom], equalities: list[Equality]) -> None:
+        stream = self.stream
+        if stream.at(IDENT) and stream.at(LPAREN, ahead=1):
+            body.append(self._atom())
+            return
+        left = self._term()
+        stream.expect(EQUALS, "'=' (or a relational atom)")
+        right = self._term()
+        equalities.append(Equality(left, right))
+
+    def _atom(self) -> Atom:
+        stream = self.stream
+        name = stream.expect(IDENT, "a relation name")
+        stream.expect(LPAREN)
+        terms: list[Term] = []
+        if not stream.at(RPAREN):
+            terms.append(self._term())
+            while stream.at(COMMA):
+                stream.take()
+                terms.append(self._term())
+        stream.expect(RPAREN)
+        atom = Atom(name.text, terms)
+        if self.schema is not None:
+            if name.text not in self.schema:
+                raise ParseError(f"unknown relation {name.text!r}", name.line, name.column)
+            rel = self.schema.relation(name.text)
+            if atom.arity != rel.arity:
+                raise ParseError(
+                    f"relation {name.text!r} has arity {rel.arity}, "
+                    f"but the atom {atom} has arity {atom.arity}",
+                    name.line,
+                    name.column,
+                )
+        return atom
+
+    def _term(self) -> Term:
+        stream = self.stream
+        token = stream.peek()
+        if token.kind is VARIABLE:
+            stream.take()
+            return Variable(token.text[1:])
+        if token.kind in (STRING, NUMBER):
+            stream.take()
+            return Constant(token.value)
+        if token.kind is IDENT:
+            stream.take()
+            if token.text == "_":
+                return self._fresh_wildcard()
+            if token.text in _KEYWORD_CONSTANTS:
+                return Constant(_KEYWORD_CONSTANTS[token.text])
+            return Variable(token.text)
+        raise stream.error(f"expected a term, got {token.describe()}", token)
+
+
+def parse_query(text: str, schema=None) -> ConjunctiveQuery | UnionOfConjunctiveQueries:
+    """Parse Datalog-style ``text`` into a CQ (one rule) or a UCQ (several
+    rules separated by ``;`` or ``UNION``).
+
+    With a :class:`repro.relational.schema.DatabaseSchema` as ``schema``,
+    every atom is checked against it during the parse, so an unknown
+    relation or a wrong arity is reported with the exact source position.
+    """
+    return _QueryParser(TokenStream(tokenize(text)), schema).parse()
+
+
+def parse_cq(text: str, schema=None) -> ConjunctiveQuery:
+    """Parse ``text`` as a single conjunctive query (no union)."""
+    query = parse_query(text, schema)
+    if not isinstance(query, ConjunctiveQuery):
+        raise ParseError(
+            f"expected a single conjunctive query, got a union of "
+            f"{len(query.disjuncts)} disjuncts"
+        )
+    return query

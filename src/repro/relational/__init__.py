@@ -6,7 +6,7 @@ in-memory instances with per-relation hash indexes and tuple-access
 accounting, the measuring stick for scale independence.
 """
 
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
 from repro.relational.instance import AccessStats, Database
 
-__all__ = ["RelationSchema", "DatabaseSchema", "Database", "AccessStats"]
+__all__ = ["RelationSchema", "DatabaseSchema", "parse_schema", "Database", "AccessStats"]

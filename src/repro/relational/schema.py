@@ -5,6 +5,16 @@ A :class:`RelationSchema` names a relation and its attributes; a
 and validation errors raise :class:`repro.errors.SchemaError`, so that a
 malformed query, tuple or access rule is rejected at the boundary instead
 of producing silently wrong answers.
+
+Schemas also have a one-declaration-per-relation textual form, parsed by
+:func:`parse_schema` / :meth:`DatabaseSchema.parse`::
+
+    Person(pid, name, city)   # '#' comments run to end of line
+    Friend(pid1, pid2)
+
+Declarations are separated by whitespace or optional semicolons, and
+``str(schema)`` renders back to this form, so ``DatabaseSchema.parse``
+and ``str`` are mutually inverse.
 """
 
 from __future__ import annotations
@@ -14,6 +24,15 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
 from repro.logic.ast import Atom, Formula
+from repro.logic.parser import (
+    COMMA,
+    IDENT,
+    LPAREN,
+    RPAREN,
+    SEMICOLON,
+    TokenStream,
+    tokenize,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +89,52 @@ class RelationSchema:
         return f"{self.name}({', '.join(self.attributes)})"
 
 
+def parse_schema(text: str) -> "DatabaseSchema":
+    """Parse a schema DSL text (see the module docstring) into a
+    :class:`DatabaseSchema`.
+
+    Malformed declarations raise :class:`repro.errors.ParseError` with the
+    position of the offending token.
+    """
+    stream = TokenStream(tokenize(text))
+    relations: list[RelationSchema] = []
+    seen: dict[str, RelationSchema] = {}
+    while not stream.at_end():
+        name = stream.expect(IDENT, "a relation name")
+        if name.text in seen:
+            raise stream.error(f"duplicate relation {name.text!r}", name)
+        stream.expect(LPAREN)
+        attributes: list[str] = []
+        attribute_tokens = []
+        if not stream.at(RPAREN):
+            while True:
+                attr = stream.expect(IDENT, "an attribute name")
+                attributes.append(attr.text)
+                attribute_tokens.append(attr)
+                if not stream.at(COMMA):
+                    break
+                stream.take()
+        stream.expect(RPAREN)
+        if len(set(attributes)) != len(attributes):
+            duplicate = next(
+                t for i, t in enumerate(attribute_tokens) if t.text in attributes[:i]
+            )
+            raise stream.error(
+                f"relation {name.text!r} repeats attribute {duplicate.text!r}", duplicate
+            )
+        try:
+            rel = RelationSchema(name.text, attributes)
+        except SchemaError as exc:
+            raise stream.error(str(exc), name) from None
+        seen[name.text] = rel
+        relations.append(rel)
+        if stream.at(SEMICOLON):
+            stream.take()
+    # No declarations is a valid (empty) schema: DatabaseSchema([]) is
+    # constructible and renders as "", so parse and str stay inverse.
+    return DatabaseSchema(relations)
+
+
 class DatabaseSchema:
     """A named collection of relation schemas."""
 
@@ -108,6 +173,15 @@ class DatabaseSchema:
 
     def __repr__(self) -> str:
         return f"DatabaseSchema({list(self._relations.values())!r})"
+
+    def __str__(self) -> str:
+        return "; ".join(str(rel) for rel in self._relations.values())
+
+    @classmethod
+    def parse(cls, text: str) -> "DatabaseSchema":
+        """Parse the textual schema DSL, e.g.
+        ``DatabaseSchema.parse("Person(name, city); Friend(pid1, pid2)")``."""
+        return parse_schema(text)
 
     def relation(self, name: str) -> RelationSchema:
         """The schema of relation ``name``, or a SchemaError."""

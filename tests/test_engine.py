@@ -1,0 +1,354 @@
+"""The Engine facade: end-to-end workflow, plan caching, invalidation."""
+
+import pytest
+
+from repro import (
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    Engine,
+    NotControlledError,
+    ParseError,
+    Plan,
+    PreparedQuery,
+    ResultSet,
+    SchemaError,
+)
+import repro.api.engine as engine_module
+
+SCHEMA_TEXT = "person(pid, name, city); friend(pid1, pid2)"
+ACCESS_TEXT = "friend(pid1 -> 5000); friend(pid2 -> 5000); person(pid -> 1)"
+DATA = {
+    "person": [
+        (1, "ann", "NYC"),
+        (2, "bob", "NYC"),
+        (3, "cat", "SF"),
+        (4, "dan", "NYC"),
+        (5, "eve", "SF"),
+    ],
+    "friend": [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, 1)],
+}
+NYC_FRIENDS = "Q(y) :- friend(p, y), person(y, n, 'NYC')"
+
+
+@pytest.fixture
+def engine():
+    return Engine(SCHEMA_TEXT, ACCESS_TEXT, data=DATA)
+
+
+# -- construction ----------------------------------------------------------
+
+
+def test_engine_from_objects(social_schema, social_access, social_db):
+    eng = Engine(social_schema, social_access, data=social_db)
+    assert eng.schema is social_schema
+    assert eng.access is social_access
+    assert eng.database is social_db
+
+
+def test_engine_from_text_builds_equivalent_components(engine, social_schema):
+    assert engine.schema == social_schema
+    assert engine.database.size("friend") == 6
+
+
+def test_mismatched_access_schema_rejected(social_access):
+    with pytest.raises(SchemaError, match="different database schema"):
+        Engine("other(a)", social_access)
+
+
+def test_mismatched_database_rejected(social_schema):
+    other = Database(Engine("other(a)").schema)
+    with pytest.raises(SchemaError, match="does not match"):
+        Engine(social_schema, data=other)
+
+
+def test_default_access_schema_is_empty(social_schema):
+    eng = Engine(social_schema)
+    assert len(eng.access) == 0
+    assert not eng.query("Q(x) :- person(x, n, c)").is_controlled(["x"])
+
+
+# -- the end-to-end one-liner ----------------------------------------------
+
+
+def test_end_to_end_workflow(engine):
+    q = engine.query(NYC_FRIENDS)
+    assert isinstance(q, PreparedQuery)
+    assert q.columns == ("y",)
+
+    assert q.is_controlled(["p"])
+    assert not q.is_controlled()
+
+    plan = q.plan(["p"])
+    assert isinstance(plan, Plan)
+    explanation = q.explain(["p"])
+    assert "fetch" in explanation and "access bound" in explanation
+
+    result = q.execute(p=1)
+    assert isinstance(result, ResultSet)
+    assert result == [(2,)]
+    assert result.stats.full_scans == 0
+    assert result.stats.tuples_accessed <= result.fanout_bound
+
+    qsi = q.decide_qsi(["p"])
+    assert qsi.scale_independent
+    qdsi = q.decide_qdsi(budget=10)
+    assert qdsi.scale_independent
+    assert qdsi.tuples_accessed <= 10
+
+
+def test_uncontrolled_query_rejected(engine):
+    q = engine.query(NYC_FRIENDS)
+    with pytest.raises(NotControlledError):
+        q.plan()
+    with pytest.raises(NotControlledError):
+        q.execute()
+
+
+def test_execute_via_parameter_mapping(engine):
+    q = engine.query(NYC_FRIENDS)
+    assert q.execute({"p": 1}) == q.execute(p=1)
+    assert q.execute({"?p": 1}) == q.execute(p=1)
+
+
+def test_engine_one_shot_execute_and_explain(engine):
+    assert engine.execute(NYC_FRIENDS, p=1) == [(2,)]
+    assert "fetch" in engine.explain(NYC_FRIENDS, ["p"])
+
+
+def test_prebuilt_query_accepted(engine):
+    q = ConjunctiveQuery(
+        ["y"], [Atom("friend", ["?p", "?y"]), Atom("person", ["?y", "?n", "NYC"])]
+    )
+    assert engine.query(q).execute(p=1) == [(2,)]
+
+
+def test_query_text_validated_against_schema(engine):
+    with pytest.raises(ParseError, match="unknown relation 'enemy'"):
+        engine.query("Q(x) :- enemy(p, x)")
+    with pytest.raises(ParseError, match="arity"):
+        engine.query("Q(x) :- person(x)")
+
+
+def test_prebuilt_query_validated_against_schema(engine):
+    with pytest.raises(SchemaError):
+        engine.query(ConjunctiveQuery(["x"], [Atom("person", ["?x"])]))
+    with pytest.raises(TypeError):
+        engine.query(42)
+
+
+def test_execute_without_database(social_schema):
+    eng = Engine(social_schema, ACCESS_TEXT)
+    q = eng.query(NYC_FRIENDS)
+    assert q.is_controlled(["p"])  # planning works without data
+    with pytest.raises(SchemaError, match="no database is bound"):
+        q.execute(p=1)
+
+
+def test_load_and_add(social_schema):
+    eng = Engine(social_schema, ACCESS_TEXT).load(DATA)
+    assert eng.execute(NYC_FRIENDS, p=1) == [(2,)]
+    assert eng.add("friend", (1, 4))
+    assert eng.execute(NYC_FRIENDS, p=1) == [(2,), (4,)]
+
+
+def test_union_query_execution(engine):
+    u = engine.query("Q(y) :- friend(p, y) ; Q(y) :- friend(y, p)")
+    result = u.execute(p=1)
+    assert set(result.rows) == {(2,), (3,), (5,)}
+    plans = u.plan(["p"])
+    assert isinstance(plans, tuple) and len(plans) == 2
+    explanation = u.explain(["p"])
+    assert "disjunct 1" in explanation and "total access bound" in explanation
+
+
+def test_union_parameters_must_occur_in_every_disjunct(engine):
+    u = engine.query("Q(y) :- friend(p, y) ; Q(y) :- friend(y, q)")
+    # The verdict and the plan-producing methods agree: a parameter set
+    # that misses a disjunct is a ValueError everywhere, never True-then-raise.
+    with pytest.raises(ValueError, match="not occurring"):
+        u.is_controlled(["p", "q"])
+    with pytest.raises(ValueError, match="not occurring"):
+        u.plan(["p", "q"])
+    with pytest.raises(ValueError, match="not occurring"):
+        u.execute(p=1, q=1)
+
+
+def test_unknown_parameter_rejected_consistently(engine):
+    q = engine.query(NYC_FRIENDS)
+    with pytest.raises(ValueError, match=r"not occurring.*\?zzz"):
+        q.is_controlled(["zzz"])
+    with pytest.raises(ValueError, match=r"not occurring.*\?zzz"):
+        q.execute(zzz=1)
+
+
+def test_one_shot_parameter_iterables(engine):
+    # Generators must not be silently exhausted between the occurrence
+    # check and the verdict, nor between UCQ disjuncts.
+    q = engine.query(NYC_FRIENDS)
+    assert q.is_controlled(iter(["p"]))
+    u = engine.query("Q(y) :- friend(p, y) ; Q(y) :- friend(y, p)")
+    assert u.decide_qsi(iter(["p"])).scale_independent
+    from repro import decide_qsi as core_decide_qsi
+
+    assert core_decide_qsi(u.query, engine.access, iter(["p"])).scale_independent
+
+
+def test_result_set_is_unhashable(engine):
+    result = engine.execute(NYC_FRIENDS, p=1)
+    with pytest.raises(TypeError):
+        hash(result)
+    assert isinstance(hash(result.rows), int)  # the rows tuple is the key
+
+
+def test_result_set_behaviour(engine):
+    result = engine.execute("Q(y, n) :- friend(p, y), person(y, n, c)", p=1)
+    assert len(result) == 2
+    assert sorted(result) == [(2, "bob"), (3, "cat")]
+    assert (2, "bob") in result
+    assert result[0] in {(2, "bob"), (3, "cat")}
+    assert result.columns == ("y", "n")
+    assert {"y": 2, "n": "bob"} in result.to_dicts()
+    assert result == {(2, "bob"), (3, "cat")}
+    assert bool(result)
+    assert "2 rows" in repr(result)
+
+
+def test_result_set_contains_does_not_coerce_strings(engine):
+    result = engine.execute("Q(c) :- person(p, n, c)", p=1)
+    assert result.rows == (("NYC",),)
+    assert ("NYC",) in result
+    assert [  # lists coerce to row tuples
+        "NYC"
+    ] in result
+    assert "NYC" not in result  # a bare string is not a row
+    assert 42 not in result
+
+
+# -- plan caching ----------------------------------------------------------
+
+
+def counting_compile(monkeypatch):
+    calls = []
+    real = engine_module.compile_plan
+
+    def wrapper(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_module, "compile_plan", wrapper)
+    return calls
+
+
+def test_repeated_execute_hits_the_cache(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    q = engine.query(NYC_FRIENDS)
+
+    q.execute(p=1)
+    assert len(calls) == 1
+    stats = engine.cache_stats()
+    assert (stats.hits, stats.misses, stats.size) == (0, 1, 1)
+
+    # Same parameter set, different value: zero recompilation.
+    q.execute(p=2)
+    q.execute(p=3)
+    assert len(calls) == 1
+    stats = engine.cache_stats()
+    assert (stats.hits, stats.misses) == (2, 1)
+    assert stats.compilations == 1
+
+
+def test_equal_query_text_shares_cache_entry(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    engine.query(NYC_FRIENDS).execute(p=1)
+    # A separately prepared but equal query maps to the same cache key.
+    engine.query(NYC_FRIENDS).execute(p=9)
+    assert len(calls) == 1
+    assert engine.cache_stats().hits == 1
+
+
+def test_different_parameter_set_compiles_again(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    q = engine.query("Q(y) :- friend(p, y), person(y, n, c)")
+    q.execute(p=1)
+    q.execute(p=1, y=2)
+    assert len(calls) == 2
+    assert engine.cache_stats().misses == 2
+
+
+def test_plan_and_explain_share_the_cache(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    q = engine.query(NYC_FRIENDS)
+    q.plan(["p"])
+    q.explain(["p"])
+    q.execute(p=1)
+    assert len(calls) == 1
+    assert engine.cache_stats().hits == 2
+
+
+def test_access_schema_change_invalidates_cache(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    q = engine.query(NYC_FRIENDS)
+    q.execute(p=1)
+    assert len(calls) == 1
+
+    engine.access = AccessSchema.parse(engine.schema, ACCESS_TEXT)
+    stats = engine.cache_stats()
+    assert stats.size == 0
+    assert stats.invalidations == 1
+
+    q.execute(p=1)
+    assert len(calls) == 2  # recompiled against the new rules
+
+
+def test_access_schema_change_affects_verdict(engine):
+    q = engine.query(NYC_FRIENDS)
+    assert q.is_controlled(["p"])
+    engine.access = "person(pid -> 1)"  # drop the friend rule
+    assert not q.is_controlled(["p"])
+    with pytest.raises(NotControlledError):
+        q.execute(p=1)
+
+
+def test_clear_plan_cache(engine):
+    q = engine.query(NYC_FRIENDS)
+    q.execute(p=1)
+    engine.clear_plan_cache()
+    assert engine.cache_stats().size == 0
+
+
+def test_lru_eviction():
+    eng = Engine(SCHEMA_TEXT, ACCESS_TEXT, data=DATA, plan_cache_size=2)
+    queries = [
+        "Q(y) :- friend(p, y)",
+        "Q(y) :- friend(y, p)",
+        "Q(n) :- person(p, n, c)",
+    ]
+    for text in queries:
+        eng.execute(text, p=1)
+    stats = eng.cache_stats()
+    assert stats.size == 2
+    assert stats.evictions == 1
+    # The least recently used entry (the first query) was evicted.
+    eng.execute(queries[0], p=1)
+    assert eng.cache_stats().misses == 4
+
+
+def test_cache_disabled():
+    eng = Engine(SCHEMA_TEXT, ACCESS_TEXT, data=DATA, plan_cache_size=0)
+    q = eng.query("Q(y) :- friend(p, y)")
+    q.execute(p=1)
+    q.execute(p=1)
+    stats = eng.cache_stats()
+    assert (stats.hits, stats.misses, stats.size) == (0, 2, 0)
+
+
+def test_union_compiles_one_plan_per_disjunct(engine, monkeypatch):
+    calls = counting_compile(monkeypatch)
+    u = engine.query("Q(y) :- friend(p, y) ; Q(y) :- friend(y, p)")
+    u.execute(p=1)
+    assert len(calls) == 2
+    u.execute(p=2)
+    assert len(calls) == 2  # one cache entry covers both plans
+    assert engine.cache_stats().hits == 1

@@ -2,11 +2,90 @@
 
 import importlib
 
+# Names the top level is documented to export; test_all_is_complete keeps
+# __all__ and this list in sync.
+EXPECTED_EXPORTS = {
+    # errors
+    "ReproError",
+    "SchemaError",
+    "UpdateError",
+    "UndecidableError",
+    "NotControlledError",
+    "RewritingError",
+    "ParseError",
+    # terms and formulas
+    "Variable",
+    "Constant",
+    "Atom",
+    "Equality",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "Forall",
+    "Implies",
+    # queries and parsing
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "FirstOrderQuery",
+    "parse_query",
+    "parse_cq",
+    # relational substrate
+    "RelationSchema",
+    "DatabaseSchema",
+    "parse_schema",
+    "Database",
+    "AccessStats",
+    # access schemas
+    "AccessRule",
+    "EmbeddedAccessRule",
+    "FullAccessRule",
+    "AccessSchema",
+    "parse_access_schema",
+    # controllability and plans
+    "Coverage",
+    "CoverageStep",
+    "coverage",
+    "controlling_sets",
+    "is_controlled",
+    "Plan",
+    "FetchStep",
+    "ProbeStep",
+    "compile_plan",
+    # deciders
+    "QDSIResult",
+    "decide_qdsi",
+    "QSIResult",
+    "decide_qsi",
+    # the Engine facade
+    "Engine",
+    "PreparedQuery",
+    "ResultSet",
+    "CacheStats",
+}
+
 
 def test_every_exported_name_resolves():
     repro = importlib.import_module("repro")
     missing = [name for name in repro.__all__ if not hasattr(repro, name)]
     assert not missing
+
+
+def test_all_is_complete():
+    repro = importlib.import_module("repro")
+    assert set(repro.__all__) == EXPECTED_EXPORTS
+
+
+def test_all_has_no_duplicates():
+    repro = importlib.import_module("repro")
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_core_names_reexported_at_top_level():
+    repro = importlib.import_module("repro")
+    core = importlib.import_module("repro.core")
+    for name in ("Plan", "FetchStep", "ProbeStep", "QSIResult", "QDSIResult", "Coverage", "coverage"):
+        assert getattr(repro, name) is getattr(core, name)
 
 
 def test_rewriting_error_is_exported():
@@ -16,12 +95,29 @@ def test_rewriting_error_is_exported():
     assert issubclass(RewritingError, ReproError)
 
 
+def test_star_import_is_clean():
+    namespace = {}
+    exec("from repro import *", namespace)
+    assert EXPECTED_EXPORTS <= set(namespace)
+
+
 def test_subpackages_import():
     for mod in (
         "repro.logic",
         "repro.logic.evaluation",
         "repro.logic.homomorphism",
+        "repro.logic.parser",
         "repro.relational",
         "repro.core",
+        "repro.api",
+        "repro.api.cache",
+        "repro.api.engine",
     ):
         importlib.import_module(mod)
+
+
+def test_subpackage_alls_resolve():
+    for mod_name in ("repro.logic", "repro.relational", "repro.core", "repro.api"):
+        mod = importlib.import_module(mod_name)
+        missing = [name for name in mod.__all__ if not hasattr(mod, name)]
+        assert not missing, f"{mod_name}: {missing}"

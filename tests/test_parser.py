@@ -1,0 +1,415 @@
+"""The Datalog-style parser: queries, schemas, access rules, round-trips."""
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    DatabaseSchema,
+    EmbeddedAccessRule,
+    Equality,
+    FullAccessRule,
+    ParseError,
+    RelationSchema,
+    ReproError,
+    UnionOfConjunctiveQueries,
+    parse_access_schema,
+    parse_cq,
+    parse_query,
+    parse_schema,
+)
+from repro.logic.parser import tokenize
+
+
+# -- queries ---------------------------------------------------------------
+
+
+def test_parse_simple_cq():
+    q = parse_query("Q(x, y) :- Person(x, 'NYC'), Friend(x, y)")
+    assert q == ConjunctiveQuery(
+        ["x", "y"],
+        [Atom("Person", ["?x", "NYC"]), Atom("Friend", ["?x", "?y"])],
+    )
+
+
+def test_question_mark_and_bare_variables_are_the_same():
+    assert parse_query("Q(?x) :- R(?x)") == parse_query("Q(x) :- R(x)")
+
+
+def test_both_rule_arrows_accepted():
+    assert parse_query("Q(x) :- R(x)") == parse_query("Q(x) <- R(x)")
+
+
+def test_constant_literals():
+    q = parse_cq("Q(x) :- R(x, 42, -1, 2.5, 1e-3, 'a', \"it's\", True, False, None)")
+    values = [t.value for t in q.body[0].terms[1:]]
+    assert values == [42, -1, 2.5, 1e-3, "a", "it's", True, False, None]
+    assert all(type(v) is int for v in values[:2])
+    assert all(type(v) is float for v in values[2:4])
+
+
+def test_nonfinite_float_literals():
+    q = parse_cq("Q(x) :- R(x, inf, -inf, nan)")
+    pos_inf, neg_inf, nan = (t.value for t in q.body[0].terms[1:])
+    assert pos_inf == float("inf") and neg_inf == float("-inf")
+    assert nan != nan  # a genuine NaN
+    finite = parse_cq("Q(x) :- R(x, inf)")
+    assert parse_query(str(finite)) == finite
+
+
+def test_string_escapes():
+    q = parse_cq(r"Q(x) :- R(x, 'line\nbreak', '\'quoted\'')")
+    assert q.body[0].terms[1].value == "line\nbreak"
+    assert q.body[0].terms[2].value == "'quoted'"
+
+
+def test_leading_zero_integers():
+    q = parse_cq("Q(x) :- R(x, 007)")
+    assert q.body[0].terms[1].value == 7
+
+
+def test_string_line_continuation_keeps_positions():
+    # The literal spans two source lines; the error after it must be
+    # reported on the real (third) line.
+    err = error_of("Q(x) :- R(x, 'a\\\n b'),\n @")
+    assert "unexpected character '@'" in str(err)
+    assert (err.line, err.column) == (3, 2)
+
+
+def test_equalities():
+    q = parse_cq("Q(x) :- R(x, y), y = 'NYC', x = z")
+    assert q.equalities == (Equality("?y", "NYC"), Equality("?x", "?z"))
+
+
+def test_wildcards_are_distinct_fresh_variables():
+    q = parse_cq("Q(x) :- R(x, _, _)")
+    _, w1, w2 = q.body[0].terms
+    assert w1 != w2
+    assert w1 not in q.head and w2 not in q.head
+
+
+def test_wildcards_do_not_collide_with_user_variables():
+    q = parse_cq("Q(_1) :- R(_1, _)")
+    wildcard = q.body[0].terms[1]
+    assert wildcard.name != "_1"
+
+
+def test_empty_body_and_head():
+    q = parse_query("Q()")
+    assert q == ConjunctiveQuery([], [])
+    assert str(q) == "Q()"
+
+
+def test_union_with_semicolon_and_keyword():
+    by_semi = parse_query("Q(x) :- A(x) ; Q(x) :- B(x)")
+    by_kw = parse_query("Q(x) :- A(x) UNION Q(x) :- B(x)")
+    assert isinstance(by_semi, UnionOfConjunctiveQueries)
+    assert by_semi == by_kw
+    assert len(by_semi.disjuncts) == 2
+
+
+def test_single_rule_parses_to_plain_cq():
+    assert isinstance(parse_query("Q(x) :- R(x)"), ConjunctiveQuery)
+
+
+def test_parse_cq_rejects_unions():
+    with pytest.raises(ParseError, match="union"):
+        parse_cq("Q(x) :- A(x) ; Q(x) :- B(x)")
+
+
+def test_comments_are_skipped():
+    q = parse_query("Q(x) :- # the head\n  R(x)  # the body")
+    assert q == parse_query("Q(x) :- R(x)")
+
+
+# -- error reporting -------------------------------------------------------
+
+
+def error_of(text, schema=None):
+    with pytest.raises(ParseError) as excinfo:
+        parse_query(text, schema)
+    return excinfo.value
+
+
+def test_unbalanced_parens_report_position():
+    err = error_of("Q(x) :- R(x")
+    assert "expected ')'" in str(err)
+    assert (err.line, err.column) == (1, 12)
+
+
+def test_error_position_counts_lines():
+    err = error_of("Q(x) :-\n  R(x,, y)")
+    assert (err.line, err.column) == (2, 7)
+    assert "line 2, column 7" in str(err)
+
+
+def test_unterminated_string():
+    err = error_of("Q(x) :- R(x, 'oops)")
+    assert "unterminated string" in str(err)
+    assert err.column == 14
+
+
+def test_bare_question_mark():
+    assert "variable name after '?'" in str(error_of("Q(?) :- R(?)"))
+
+
+def test_constant_in_head_rejected():
+    err = error_of("Q(x, 'NYC') :- R(x)")
+    assert "head terms must be named variables" in str(err)
+    assert err.column == 6
+
+
+def test_wildcard_in_head_rejected():
+    assert "head terms must be named variables" in str(error_of("Q(_) :- R(_)"))
+
+
+def test_unsafe_head_variable_reported_at_rule():
+    err = error_of("Q(x) :- R(y)")
+    assert "unsafe head variables" in str(err)
+    assert (err.line, err.column) == (1, 1)
+
+
+def test_mixed_arity_union_rejected():
+    err = error_of("Q(x) :- A(x) ; Q(x, y) :- B(x, y)")
+    assert "different arities" in str(err)
+
+
+def test_trailing_garbage_rejected():
+    assert "expected ';', 'UNION' or end of input" in str(error_of("Q(x) :- R(x) extra"))
+
+
+def test_unexpected_character():
+    err = error_of("Q(x) :- R(x) @")
+    assert "unexpected character '@'" in str(err)
+
+
+def test_unknown_relation_with_schema(social_schema):
+    err = error_of("Q(x) :- nope(x)", social_schema)
+    assert "unknown relation 'nope'" in str(err)
+    assert err.column == 9
+
+
+def test_wrong_arity_with_schema(social_schema):
+    err = error_of("Q(x) :- person(x)", social_schema)
+    assert "arity 3" in str(err) and "arity 1" in str(err)
+    assert err.column == 9
+
+
+def test_parse_error_is_a_repro_error():
+    assert issubclass(ParseError, ReproError)
+
+
+def test_parse_error_renders_partial_positions():
+    assert str(ParseError("bad", 3, 7)) == "bad (line 3, column 7)"
+    assert str(ParseError("bad", 3)) == "bad (line 3)"
+    assert str(ParseError("bad")) == "bad"
+
+
+# -- round-trips -----------------------------------------------------------
+
+ROUND_TRIP_FIXTURES = [
+    ConjunctiveQuery(["x"], [Atom("R", ["?x"])]),
+    ConjunctiveQuery(
+        ["x", "y"],
+        [Atom("person", ["?x", "?n", "NYC"]), Atom("friend", ["?x", "?y"])],
+    ),
+    ConjunctiveQuery(
+        ["x"],
+        [Atom("R", ["?x", "?y"])],
+        [Equality("?y", "NYC"), Equality("?x", "?z")],
+    ),
+    ConjunctiveQuery(["x"], [Atom("R", ["?x", 42, -1, 2.5, True, False, None])]),
+    ConjunctiveQuery(["x"], [Atom("R", ["?x", "it's", 'she said "hi"'])]),
+    ConjunctiveQuery([], [Atom("R", [1])]),
+    ConjunctiveQuery([], []),
+    UnionOfConjunctiveQueries(
+        [
+            ConjunctiveQuery(["x"], [Atom("A", ["?x"])]),
+            ConjunctiveQuery(["x"], [Atom("B", ["?x", "?y"])]),
+        ]
+    ),
+    UnionOfConjunctiveQueries(
+        [
+            ConjunctiveQuery(["x"], [Atom("A", ["?x"])], [Equality("?x", 1)]),
+            ConjunctiveQuery(["x"], [Atom("B", ["?x"])]),
+            ConjunctiveQuery(["x"], [Atom("C", ["?x", "c"])]),
+        ]
+    ),
+]
+
+
+@pytest.mark.parametrize("query", ROUND_TRIP_FIXTURES, ids=str)
+def test_round_trip(query):
+    assert parse_query(str(query)) == query
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Q(x) :- R(x, _), S(_, x)",
+        "Q(x) :- A(x) ; Q(x) :- B(x), x = 'v'",
+        "Q(x, y) :- friend(x, y), person(y, n, 'NYC')",
+    ],
+)
+def test_round_trip_from_text(text):
+    parsed = parse_query(text)
+    assert parse_query(str(parsed)) == parsed
+
+
+# -- schema DSL ------------------------------------------------------------
+
+
+def test_parse_schema_basic():
+    schema = parse_schema("Person(pid, name, city); Friend(pid1, pid2)")
+    assert schema == DatabaseSchema(
+        [
+            RelationSchema("Person", ["pid", "name", "city"]),
+            RelationSchema("Friend", ["pid1", "pid2"]),
+        ]
+    )
+
+
+def test_parse_schema_newlines_and_comments():
+    schema = DatabaseSchema.parse(
+        """
+        # the running example
+        Person(pid, name, city)
+        Friend(pid1, pid2)
+        """
+    )
+    assert schema.names == ("Person", "Friend")
+
+
+def test_schema_round_trip(social_schema):
+    assert parse_schema(str(social_schema)) == social_schema
+
+
+def test_parse_schema_duplicate_relation():
+    with pytest.raises(ParseError, match="duplicate relation 'R'"):
+        parse_schema("R(a); R(b)")
+
+
+def test_parse_schema_duplicate_attribute():
+    with pytest.raises(ParseError, match="repeats attribute 'a'") as excinfo:
+        parse_schema("R(a, b, a)")
+    assert excinfo.value.column == 9
+
+
+def test_parse_schema_empty_round_trip():
+    empty = DatabaseSchema([])
+    assert parse_schema(str(empty)) == empty
+    assert parse_schema("  # nothing here\n") == empty
+
+
+def test_parse_schema_malformed():
+    with pytest.raises(ParseError, match="expected an attribute name"):
+        parse_schema("R(a, 3)")
+
+
+# -- access-schema DSL -----------------------------------------------------
+
+
+def test_parse_access_attribute_forms(social_schema):
+    access = AccessSchema.parse(
+        social_schema,
+        "friend(pid1 -> 5000); person(pid -> 1); person(city -> pid, 20)",
+    )
+    assert list(access) == [
+        AccessRule("friend", ["pid1"], 5000),
+        AccessRule("person", ["pid"], 1),
+        EmbeddedAccessRule("person", ["city"], ["pid"], 20),
+    ]
+
+
+def test_parse_access_full_relation_form():
+    schema = parse_schema("dict(word)")
+    access = parse_access_schema(schema, "dict({} -> 100)")
+    assert list(access) == [FullAccessRule("dict", 100)]
+
+
+def test_parse_access_positional_form(social_schema):
+    access = parse_access_schema(
+        social_schema,
+        "friend: (0) -> * bound 5000\nperson: (2) -> (0) bound 20\nperson: () -> * bound 9",
+    )
+    assert list(access) == [
+        AccessRule("friend", ["pid1"], 5000),
+        EmbeddedAccessRule("person", ["city"], ["pid"], 20),
+        FullAccessRule("person", 9),
+    ]
+
+
+def test_parse_access_from_schema_text():
+    access = parse_access_schema("R(a, b)", "R(a -> 7)")
+    assert list(access) == [AccessRule("R", ["a"], 7)]
+
+
+def test_access_schema_round_trip(social_access, social_schema):
+    assert AccessSchema.parse(social_schema, str(social_access)) == social_access
+
+
+def test_empty_input_access_rule_round_trip(social_schema):
+    # A plain AccessRule with no inputs renders exactly like the
+    # FullAccessRule it is equivalent to; the two compare equal, so the
+    # schema-level round-trip holds for either spelling.
+    access = AccessSchema(social_schema, [AccessRule("person", [], 9)])
+    assert AccessRule("person", [], 9) == FullAccessRule("person", 9)
+    assert AccessSchema.parse(social_schema, str(access)) == access
+
+
+def test_empty_access_schema_round_trip(social_schema):
+    empty = AccessSchema(social_schema, ())
+    assert AccessSchema.parse(social_schema, str(empty)) == empty
+
+
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("nope(a -> 1)", "unknown relation 'nope'"),
+        ("person(zip -> 1)", "no attribute 'zip'"),
+        ("friend(pid1 -> 0)", "positive integer"),
+        ("friend(pid1 -> 2.5)", "positive integer"),
+        ("friend: (7) -> * bound 5", "out of range"),
+        ("friend: (0) -> * limit 5", "keyword 'bound'"),
+        ("friend: (0) -> () bound 5", "at least one output position"),
+        ("friend(pid1 -> 5", "expected"),
+        ("person(pid -> pid, 3)", "overlap"),
+    ],
+)
+def test_access_schema_errors(social_schema, text, match):
+    with pytest.raises(ParseError, match=match):
+        parse_access_schema(social_schema, text)
+
+
+def test_access_error_positions(social_schema):
+    with pytest.raises(ParseError) as excinfo:
+        parse_access_schema(social_schema, "person(pid -> 1)\nperson(zip -> 1)")
+    assert (excinfo.value.line, excinfo.value.column) == (2, 8)
+
+
+def test_access_bad_bound_anchored_at_bound_token(social_schema):
+    with pytest.raises(ParseError) as excinfo:
+        parse_access_schema(social_schema, "friend(pid1 -> 2.5)")
+    assert (excinfo.value.line, excinfo.value.column) == (1, 16)
+
+
+# -- tokenizer details -----------------------------------------------------
+
+
+def test_tokenize_positions():
+    tokens = tokenize("Q(x)\n  :- R(x)")
+    kinds = [(t.text, t.line, t.column) for t in tokens]
+    assert kinds == [
+        ("Q", 1, 1),
+        ("(", 1, 2),
+        ("x", 1, 3),
+        (")", 1, 4),
+        (":-", 2, 3),
+        ("R", 2, 6),
+        ("(", 2, 7),
+        ("x", 2, 8),
+        (")", 2, 9),
+        ("", 2, 10),
+    ]
