@@ -12,13 +12,20 @@ The package is organised as follows:
 * :mod:`repro.relational` -- the relational substrate: schemas (with a
   textual DSL), instances, hash indexes with tuple-access accounting.
 * :mod:`repro.core` -- the paper's primary contribution: access schemas
-  (with a textual rule DSL), controllability, scale-independent query
-  plans and the decision problems QDSI, QSI, QCntl and QCntlmin.
+  (with a textual rule DSL), controllability, the scale-independent
+  planner (:mod:`repro.core.plans`), the batched physical-operator
+  executor (:mod:`repro.core.executor`) and the decision problems QDSI,
+  QSI, QCntl and QCntlmin.
+* :mod:`repro.workloads` -- seeded synthetic workloads: the paper's
+  social-network example with configurable size and degree skew, and the
+  running queries Q1/Q2/Q3 as ready-made bundles.
+* :mod:`repro.bench` -- the experiment harness (also ``python -m
+  repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
+  fanout bound, and plan-cache hit rates, written to ``BENCH_<n>.json``.
 
 Planned (tracked in ROADMAP.md, not yet implemented): ``repro.incremental``
-(incremental scale independence, Section 5), ``repro.views`` (scale
-independence using views, Section 6), ``repro.workloads`` (synthetic
-social-network workloads) and ``repro.bench`` (the experiment harness).
+(incremental scale independence, Section 5) and ``repro.views`` (scale
+independence using views, Section 6).
 
 The most frequently used names are re-exported here for convenience.
 """
@@ -54,10 +61,21 @@ from repro.core.controllability import (
     coverage,
     is_controlled,
 )
+from repro.core.executor import (
+    FetchOp,
+    FilterOp,
+    OperatorProfile,
+    PlanProfile,
+    ProbeOp,
+    ProjectDedupOp,
+    build_pipeline,
+    execute_plan,
+    profile_plan,
+)
 from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
-from repro.api import CacheStats, Engine, PreparedQuery, ResultSet
+from repro.api import CacheStats, Engine, ExplainAnalyze, PreparedQuery, ResultSet
 
 __all__ = [
     # errors
@@ -107,6 +125,16 @@ __all__ = [
     "FetchStep",
     "ProbeStep",
     "compile_plan",
+    # the physical executor
+    "FetchOp",
+    "ProbeOp",
+    "FilterOp",
+    "ProjectDedupOp",
+    "OperatorProfile",
+    "PlanProfile",
+    "build_pipeline",
+    "execute_plan",
+    "profile_plan",
     # deciders
     "QDSIResult",
     "decide_qdsi",
@@ -116,7 +144,8 @@ __all__ = [
     "Engine",
     "PreparedQuery",
     "ResultSet",
+    "ExplainAnalyze",
     "CacheStats",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

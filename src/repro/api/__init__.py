@@ -13,6 +13,13 @@ the low-level API underneath.
 """
 
 from repro.api.cache import CacheStats, PlanCache
-from repro.api.engine import Engine, PreparedQuery, ResultSet
+from repro.api.engine import Engine, ExplainAnalyze, PreparedQuery, ResultSet
 
-__all__ = ["Engine", "PreparedQuery", "ResultSet", "CacheStats", "PlanCache"]
+__all__ = [
+    "Engine",
+    "ExplainAnalyze",
+    "PreparedQuery",
+    "ResultSet",
+    "CacheStats",
+    "PlanCache",
+]

@@ -7,10 +7,20 @@ every call.  The cache memoizes compiled plans keyed by ``(query,
 parameter-name set)`` -- parameter *values* do not affect the plan -- and
 is invalidated wholesale whenever the access schema changes, since every
 plan embeds the rules it fetches through.
+
+The cache is shared mutable state on the concurrent-traffic hot path, so
+every operation (get/put/invalidate/stats) takes an internal lock: the
+cache's own structure and hit/miss/eviction/invalidation counters stay
+consistent under concurrent executes against one
+:class:`~repro.api.engine.Engine`.  (Per-execution *database* access
+deltas are a separate concern: they are read off the engine's shared
+:class:`~repro.relational.instance.AccessStats` and are not isolated
+per thread -- see ROADMAP.)
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -34,18 +44,28 @@ class CacheStats:
 
 
 class PlanCache:
-    """A small LRU mapping with hit/miss/eviction accounting.
+    """A small thread-safe LRU mapping with hit/miss/eviction/invalidation
+    accounting.
 
     ``maxsize=None`` means unbounded; ``maxsize=0`` disables caching
     (every probe misses and stores nothing).
     """
 
-    __slots__ = ("maxsize", "_entries", "_hits", "_misses", "_evictions", "_invalidations")
+    __slots__ = (
+        "maxsize",
+        "_lock",
+        "_entries",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_invalidations",
+    )
 
     def __init__(self, maxsize: int | None = 128):
         if maxsize is not None and maxsize < 0:
             raise ValueError(f"maxsize must be None or >= 0, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -53,42 +73,48 @@ class PlanCache:
         self._invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> object | None:
         """The cached value for ``key`` (refreshing its recency), or None."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: Hashable, value: object) -> None:
-        if self.maxsize == 0:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if self.maxsize == 0:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def invalidate(self) -> None:
         """Drop every entry (the schema underlying the plans changed)."""
-        self._entries.clear()
-        self._invalidations += 1
+        with self._lock:
+            self._entries.clear()
+            self._invalidations += 1
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )

@@ -26,11 +26,18 @@ schema invalidates the cache, since plans embed access rules.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.api.cache import CacheStats, PlanCache
 from repro.core.access_schema import AccessSchema
-from repro.core.plans import Plan, compile_plan, merge_parameter_values
+from repro.core.executor import (
+    PlanProfile,
+    execute_plan,
+    merge_parameter_values,
+    profile_plan,
+)
+from repro.core.plans import Plan, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
 from repro.errors import SchemaError
@@ -115,6 +122,40 @@ class ResultSet:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+class ExplainAnalyze:
+    """The payload of ``explain_analyze``: the executed :class:`ResultSet`
+    plus one per-operator :class:`~repro.core.executor.PlanProfile` per
+    disjunct, with measured row counts and access accounting."""
+
+    __slots__ = ("result", "profiles")
+
+    def __init__(self, result: ResultSet, profiles: tuple[PlanProfile, ...]):
+        self.result = result
+        self.profiles = profiles
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplainAnalyze({len(self.result)} rows, "
+            f"{len(self.profiles)} plan(s), "
+            f"{self.result.stats.tuples_accessed} tuples accessed)"
+        )
+
+    def __str__(self) -> str:
+        if len(self.profiles) == 1:
+            sections = [str(self.profiles[0])]
+        else:
+            sections = [
+                f"disjunct {i}: {profile.plan.query}\n{profile}"
+                for i, profile in enumerate(self.profiles, 1)
+            ]
+        sections.append(
+            f"total: {len(self.result)} rows, "
+            f"{self.result.stats.tuples_accessed} tuples accessed "
+            f"(bound {self.result.fanout_bound})"
+        )
+        return "\n\n".join(sections)
+
+
 class PreparedQuery:
     """A parsed, schema-validated query bound to an :class:`Engine`.
 
@@ -129,6 +170,20 @@ class PreparedQuery:
         self._engine = engine
         self.query = query
         self.text = text if text is not None else str(query)
+        if isinstance(query, UnionOfConjunctiveQueries):
+            # The answer columns are named after the head variables, so a
+            # union whose disjunct heads disagree on names would silently
+            # mislabel to_dicts(); reject it at prepare time.
+            heads = {tuple(v.name for v in d.head) for d in query.disjuncts}
+            if len(heads) > 1:
+                raise ValueError(
+                    "union disjuncts disagree on head variable names: "
+                    + " vs ".join(
+                        "(" + ", ".join(h) + ")" for h in sorted(heads)
+                    )
+                    + "; rename the heads consistently so answer columns "
+                    "are well-defined"
+                )
 
     def __str__(self) -> str:
         return str(self.query)
@@ -142,7 +197,8 @@ class PreparedQuery:
 
     @property
     def columns(self) -> tuple[str, ...]:
-        """The names of the answer columns (the head variables)."""
+        """The names of the answer columns (the head variables; for a
+        union, all disjunct heads agree -- enforced at prepare time)."""
         if isinstance(self.query, ConjunctiveQuery):
             return tuple(v.name for v in self.query.head)
         return tuple(v.name for v in self.query.disjuncts[0].head)
@@ -211,11 +267,37 @@ class PreparedQuery:
         before = database.stats.snapshot()
         rows: dict[Row, None] = {}
         for plan in plans:
-            for row in plan.execute(database, values):
+            for row in execute_plan(plan, database, values):
                 rows.setdefault(row, None)
         stats = database.stats.since(before)
         fanout = sum(plan.fanout_bound for plan in plans)
         return ResultSet(rows, self.columns, stats, fanout)
+
+    def explain_analyze(
+        self,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> ExplainAnalyze:
+        """Execute like :meth:`execute`, but additionally record per-operator
+        row counts and access accounting through the physical pipeline
+        (:mod:`repro.core.executor`).  Returns an :class:`ExplainAnalyze`
+        whose ``result`` is the :class:`ResultSet` and whose ``profiles``
+        hold one :class:`~repro.core.executor.PlanProfile` per disjunct."""
+        values = merge_parameter_values(parameters, kwargs)
+        database = self._engine.require_database()
+        plans = self._engine._plans_for(self.query, frozenset(values))
+        before = database.stats.snapshot()
+        rows: dict[Row, None] = {}
+        profiles = []
+        for plan in plans:
+            profile = profile_plan(plan, database, values)
+            profiles.append(profile)
+            for row in profile.rows:
+                rows.setdefault(row, None)
+        stats = database.stats.since(before)
+        fanout = sum(plan.fanout_bound for plan in plans)
+        result = ResultSet(rows, self.columns, stats, fanout)
+        return ExplainAnalyze(result, tuple(profiles))
 
     def _check_parameters(self, parameters: frozenset[Variable]) -> None:
         """Reject parameter variables that do not occur in the query (in
@@ -247,7 +329,7 @@ class Engine:
     omitting ``data`` leaves the engine planning-only until one is bound.
     """
 
-    __slots__ = ("_schema", "_access", "_database", "_cache")
+    __slots__ = ("_schema", "_access_state", "_access_lock", "_database", "_cache")
 
     def __init__(
         self,
@@ -263,7 +345,11 @@ class Engine:
             raise SchemaError(f"{schema!r} is not a DatabaseSchema or schema text")
         self._schema = schema
         self._cache = PlanCache(plan_cache_size)
-        self._access = self._coerce_access(access)
+        # (version, schema) in one slot so concurrent readers always see a
+        # matching pair; the version is part of every plan-cache key.
+        # Writers serialize on _access_lock so versions are never reused.
+        self._access_lock = threading.Lock()
+        self._access_state = (0, self._coerce_access(access))
         self._database: Database | None = None
         if data is not None:
             self.database = data if isinstance(data, Database) else Database(schema, data)
@@ -276,13 +362,18 @@ class Engine:
 
     @property
     def access(self) -> AccessSchema:
-        return self._access
+        return self._access_state[1]
 
     @access.setter
     def access(self, access: AccessSchema | str | None) -> None:
         """Replace the access schema.  Every cached plan embeds access
-        rules, so the plan cache is invalidated."""
-        self._access = self._coerce_access(access)
+        rules, so the plan cache is invalidated; bumping the version also
+        strands any compilation already in flight under the old schema on
+        a cache key that can never be served again."""
+        coerced = self._coerce_access(access)
+        with self._access_lock:  # no lost version bumps between setters
+            version, _ = self._access_state
+            self._access_state = (version + 1, coerced)
         self._cache.invalidate()
 
     @property
@@ -369,6 +460,16 @@ class Engine:
         """One-shot convenience: ``engine.query(q).explain(...)``."""
         return self.query(query).explain(parameters)
 
+    def explain_analyze(
+        self,
+        query: str | Query,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> ExplainAnalyze:
+        """One-shot convenience: ``engine.query(q).explain_analyze(...)`` --
+        execute and return per-operator row counts plus the result set."""
+        return self.query(query).explain_analyze(parameters, **kwargs)
+
     # -- plan cache ------------------------------------------------------
 
     def cache_stats(self) -> CacheStats:
@@ -381,17 +482,23 @@ class Engine:
     def _plans_for(
         self, query: Query, parameters: frozenset[Variable]
     ) -> tuple[Plan, ...]:
-        key = (query, parameters)
+        # Capture the access schema and its version in one atomic read:
+        # the version is part of the cache key, so a compile racing a
+        # concurrent ``engine.access = ...`` can only populate a key
+        # belonging to the schema it compiled against -- it can never be
+        # served after the replacement.
+        version, access = self._access_state
+        key = (version, query, parameters)
         plans = self._cache.get(key)
         if plans is None:
             # Compile with a deterministic parameter order; values are
             # matched by name at execution time, so order is cosmetic.
             params = tuple(sorted(parameters, key=lambda v: v.name))
             if isinstance(query, ConjunctiveQuery):
-                plans = (compile_plan(query, self._access, params),)
+                plans = (compile_plan(query, access, params),)
             else:
                 plans = tuple(
-                    compile_plan(disjunct, self._access, params)
+                    compile_plan(disjunct, access, params)
                     for disjunct in query.disjuncts
                 )
             self._cache.put(key, plans)

@@ -1,0 +1,231 @@
+"""The experiment harness: measure scale independence, don't just assert it.
+
+``run_bench`` drives the :mod:`repro.workloads` social-network queries
+Q1/Q2/Q3 at increasing database sizes and records, per (query, size):
+
+* wall time per execution through the **batched** operator pipeline
+  (:func:`repro.core.executor.execute_plan`) and through the **per-tuple**
+  reference path (:func:`repro.core.executor.execute_per_tuple`) -- the
+  speedup of batched over per-tuple is the refactor's dividend;
+* tuples accessed per execution next to the plan's ``fanout_bound`` --
+  the paper's claim is that this stays flat while the database grows;
+* plan-cache hits/misses for the run's repeated parameterized executes.
+
+The results are written to ``BENCH_<n>.json`` (``n`` =
+:data:`BENCH_VERSION`, bumped whenever the measured pipeline changes) so
+the repository accumulates a perf trajectory over time.  CI runs a
+seconds-scale smoke configuration and uploads the file as an artifact;
+locally::
+
+    PYTHONPATH=src python -m repro.bench --sizes 100,1000,10000
+
+or from code::
+
+    from repro.bench import run_bench
+    doc = run_bench(sizes=(100, 1000, 10000), seed=0)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Literal, Mapping, Sequence
+
+from repro.core.executor import execute_per_tuple, execute_plan
+from repro.workloads import RUNNING_QUERIES, QueryBundle, sample_pids, social_engine
+
+#: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
+#: pipeline changes materially.
+BENCH_VERSION = 3
+
+DEFAULT_SIZES = (100, 1000, 10000)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One (query, database size, execution mode) measurement."""
+
+    query: str
+    size: int
+    mode: str  # "batched" | "per_tuple"
+    executions: int
+    wall_time_s: float  # best-of-repeats mean seconds per execution
+    rows: int  # total distinct answer rows across the parameter stream
+    tuples_accessed_max: int  # worst case per execution
+    fanout_bound: int
+    indexed_lookups: int  # for the worst-case execution
+    full_scans: int  # across the whole run; must stay 0
+
+
+def _measure_access(plan, db, runner, param_values: Sequence[Mapping]) -> tuple[int, int, int, int]:
+    """Run once per parameter set with accounting; return (rows, max
+    tuples accessed per execution, lookups of that execution, scans)."""
+    rows = set()
+    worst = (0, 0)
+    scans = 0
+    for values in param_values:
+        before = db.stats.snapshot()
+        out = runner(plan, db, values)
+        delta = db.stats.since(before)
+        rows.update(out)
+        scans += delta.full_scans
+        if delta.tuples_accessed > worst[0]:
+            worst = (delta.tuples_accessed, delta.indexed_lookups)
+    return len(rows), worst[0], worst[1], scans
+
+
+def _time_executions(plan, db, runner, param_values, repeats: int) -> float:
+    """Best-of-``repeats`` mean wall seconds per execution."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for values in param_values:
+            runner(plan, db, values)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / len(param_values))
+    return best
+
+
+def run_bench(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    params_per_size: int = 8,
+    queries: Sequence[QueryBundle] = RUNNING_QUERIES,
+    max_friends: int | None = None,
+    output: str | Path | None | Literal[False] = None,
+) -> dict:
+    """Run the workload ``queries`` at each database size in ``sizes`` and
+    return (and optionally write) the benchmark document.
+
+    ``output`` -- path for the JSON document; ``None`` writes the default
+    ``BENCH_<n>.json`` in the current directory; pass ``output=False`` to
+    skip writing.
+    """
+    sizes = tuple(sizes)
+    if not sizes or any(s < 2 for s in sizes):
+        raise ValueError(f"sizes must be >= 2, got {sizes!r}")
+    engine_kwargs: dict = {"seed": seed}
+    if max_friends is not None:
+        engine_kwargs["max_friends"] = max_friends
+
+    records: list[BenchRecord] = []
+    cache_stats: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        engine = social_engine(size, **engine_kwargs)
+        db = engine.require_database()
+        cache_before = engine.cache_stats()
+        for bundle in queries:
+            prepared = bundle.prepare(engine)
+            plan = prepared.plan(bundle.parameters)
+            pids = sample_pids(size, params_per_size, seed=seed)
+            param_values = [
+                {bundle.parameters[0]: pid} for pid in pids
+            ]
+            # Warm the plan cache the way production traffic would, and
+            # exercise the facade path once per parameter.
+            for values in param_values:
+                prepared.execute(values)
+            for mode, runner in (
+                ("batched", execute_plan),
+                ("per_tuple", execute_per_tuple),
+            ):
+                rows, tuples_max, lookups, scans = _measure_access(
+                    plan, db, runner, param_values
+                )
+                wall = _time_executions(plan, db, runner, param_values, repeats)
+                records.append(
+                    BenchRecord(
+                        query=bundle.name,
+                        size=size,
+                        mode=mode,
+                        executions=len(param_values) * repeats,
+                        wall_time_s=wall,
+                        rows=rows,
+                        tuples_accessed_max=tuples_max,
+                        fanout_bound=plan.fanout_bound,
+                        indexed_lookups=lookups,
+                        full_scans=scans,
+                    )
+                )
+        cache_after = engine.cache_stats()
+        hits = cache_after.hits - cache_before.hits
+        misses = cache_after.misses - cache_before.misses
+        cache_stats[size] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+
+    doc = {
+        "bench_version": BENCH_VERSION,
+        "workload": "social",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "seed": seed,
+        "sizes": list(sizes),
+        "repeats": repeats,
+        "params_per_size": params_per_size,
+        "records": [asdict(r) for r in records],
+        "plan_cache": cache_stats,
+        "summary": summarize(records),
+    }
+    if output is not False:
+        write_bench(doc, output)
+    return doc
+
+
+def summarize(records: Sequence[BenchRecord]) -> dict:
+    """Per-query roll-up: tuples accessed by size (the flatness evidence)
+    and the batched-over-per-tuple speedup at the largest size."""
+    by_query: dict[str, dict] = {}
+    for record in records:
+        entry = by_query.setdefault(
+            record.query,
+            {"tuples_accessed_by_size": {}, "fanout_bound": record.fanout_bound},
+        )
+        if record.mode == "batched":
+            entry["tuples_accessed_by_size"][str(record.size)] = (
+                record.tuples_accessed_max
+            )
+    largest = max((r.size for r in records), default=0)
+    for name, entry in by_query.items():
+        batched = next(
+            (
+                r
+                for r in records
+                if r.query == name and r.size == largest and r.mode == "batched"
+            ),
+            None,
+        )
+        per_tuple = next(
+            (
+                r
+                for r in records
+                if r.query == name and r.size == largest and r.mode == "per_tuple"
+            ),
+            None,
+        )
+        if batched and per_tuple and batched.wall_time_s > 0:
+            entry["speedup_at_largest"] = round(
+                per_tuple.wall_time_s / batched.wall_time_s, 3
+            )
+        tuples = entry["tuples_accessed_by_size"]
+        entry["within_fanout_bound"] = all(
+            t <= entry["fanout_bound"] for t in tuples.values()
+        )
+    return by_query
+
+
+def default_output_path(directory: str | Path = ".") -> Path:
+    """Where the trajectory file for this bench version lives."""
+    return Path(directory) / f"BENCH_{BENCH_VERSION}.json"
+
+
+def write_bench(doc: Mapping, path: str | Path | None = None) -> Path:
+    """Write the benchmark document as JSON; returns the path written."""
+    target = Path(path) if path is not None else default_output_path()
+    target.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return target

@@ -1,0 +1,105 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Runs the social-network workload benchmark at the requested sizes,
+prints a human-readable summary and writes the ``BENCH_<n>.json``
+trajectory file (see :mod:`repro.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import DEFAULT_SIZES, run_bench
+
+
+def _sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sizes must be comma-separated integers, got {text!r}"
+        ) from None
+    if not sizes:
+        raise argparse.ArgumentTypeError("at least one size is required")
+    return sizes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Benchmark the scale-independent executor on the social-network "
+            "workload: batched vs per-tuple wall time, tuples accessed vs "
+            "fanout bound, plan-cache hit rate."
+        ),
+    )
+    parser.add_argument(
+        "--sizes",
+        type=_sizes,
+        default=DEFAULT_SIZES,
+        help="comma-separated database sizes (persons), e.g. 100,1000,10000",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best is kept)"
+    )
+    parser.add_argument(
+        "--params",
+        type=int,
+        default=8,
+        help="parameter values sampled per size",
+    )
+    parser.add_argument(
+        "--max-friends",
+        type=int,
+        default=None,
+        help="friend fan-out cap (defaults to the workload default)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_<version>.json in the cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench(
+        args.sizes,
+        seed=args.seed,
+        repeats=args.repeats,
+        params_per_size=args.params,
+        max_friends=args.max_friends,
+        output=args.out,
+    )
+
+    print(f"workload: {doc['workload']}  sizes: {doc['sizes']}  seed: {doc['seed']}")
+    header = f"{'query':<6} {'size':>8} {'batched µs':>11} {'per-tuple µs':>13} {'speedup':>8} {'tuples':>7} {'bound':>7}"
+    print(header)
+    print("-" * len(header))
+    by_key = {(r["query"], r["size"], r["mode"]): r for r in doc["records"]}
+    for name in sorted({r["query"] for r in doc["records"]}):
+        for size in doc["sizes"]:
+            batched = by_key[name, size, "batched"]
+            per_tuple = by_key[name, size, "per_tuple"]
+            speedup = (
+                per_tuple["wall_time_s"] / batched["wall_time_s"]
+                if batched["wall_time_s"]
+                else float("inf")
+            )
+            print(
+                f"{name:<6} {size:>8} "
+                f"{batched['wall_time_s'] * 1e6:>11.1f} "
+                f"{per_tuple['wall_time_s'] * 1e6:>13.1f} "
+                f"{speedup:>7.2f}x "
+                f"{batched['tuples_accessed_max']:>7} "
+                f"{batched['fanout_bound']:>7}"
+            )
+    for size, cache in doc["plan_cache"].items():
+        print(
+            f"plan cache @ size {size}: {cache['hits']} hits / "
+            f"{cache['misses']} misses (hit rate {cache['hit_rate']:.2f})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

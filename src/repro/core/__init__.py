@@ -1,5 +1,7 @@
 """The paper's primary contribution: access schemas, controllability,
-scale-independent plans and the QSI/QDSI deciders."""
+scale-independent plans (the planner in :mod:`repro.core.plans`, the
+batched physical-operator executor in :mod:`repro.core.executor`) and the
+QSI/QDSI deciders."""
 
 from repro.core.access_schema import (
     AccessRule,
@@ -14,6 +16,18 @@ from repro.core.controllability import (
     controlling_sets,
     coverage,
     is_controlled,
+)
+from repro.core.executor import (
+    FetchOp,
+    FilterOp,
+    OperatorProfile,
+    PlanProfile,
+    ProbeOp,
+    ProjectDedupOp,
+    build_pipeline,
+    execute_per_tuple,
+    execute_plan,
+    profile_plan,
 )
 from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
@@ -34,6 +48,16 @@ __all__ = [
     "FetchStep",
     "ProbeStep",
     "compile_plan",
+    "FetchOp",
+    "ProbeOp",
+    "FilterOp",
+    "ProjectDedupOp",
+    "OperatorProfile",
+    "PlanProfile",
+    "build_pipeline",
+    "execute_plan",
+    "execute_per_tuple",
+    "profile_plan",
     "QDSIResult",
     "decide_qdsi",
     "QSIResult",

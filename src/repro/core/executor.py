@@ -1,0 +1,576 @@
+"""Batch-at-a-time physical execution of scale-independent plans.
+
+:mod:`repro.core.plans` is the *planner*: :func:`~repro.core.plans.compile_plan`
+turns a controlled conjunctive query into an ordered sequence of
+fetch/probe steps plus a head projection.  This module is the *executor*:
+it lowers those steps into a pipeline of physical operators that process
+**batches** of binding dicts iteratively -- no Python recursion, and one
+bulk database call (:meth:`~repro.relational.instance.Database.lookup_many`
+/ :meth:`~repro.relational.instance.Database.contains_many`) per operator
+instead of one :meth:`lookup`/:meth:`contains` per partial assignment.
+
+The operators:
+
+* :class:`FilterOp` -- enforce the compile-time equality constraints that
+  involve plan parameters (a parameter equated to a constant or to another
+  parameter) and propagate parameter values onto their equality-class
+  representatives.  Only appears when the query's equalities demand it.
+* :class:`FetchOp` -- one :meth:`lookup_many` for the whole batch, keyed on
+  the positions that are statically known to be bound at this point of the
+  pipeline, then join each group of rows back to its source assignment
+  (consistency-checked for repeated variables; embedded access rules
+  additionally filter on residual bound positions and deduplicate output
+  projections, mirroring their ``R(X -> Y, N)`` semantics).
+* :class:`ProbeOp` -- verify a fully-bound atom for the whole batch with
+  one :meth:`contains_many` call.
+* :class:`ProjectDedupOp` -- project the surviving assignments onto the
+  head terms and deduplicate, preserving first-derivation order.
+
+Because the bulk access methods resolve each *distinct* key once per
+batch, batched execution touches at most -- and on skewed workloads far
+fewer than -- the tuples the per-assignment reference path touches; both
+stay within the plan's :attr:`~repro.core.plans.Plan.fanout_bound`.
+
+:func:`execute_per_tuple` keeps the pre-pipeline recursive per-assignment
+executor alive as the reference semantics: differential tests assert the
+pipeline agrees with it, and :mod:`repro.bench` measures the speedup of
+batched over per-tuple execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.core.access_schema import EmbeddedAccessRule
+from repro.core.plans import Plan, ProbeStep
+from repro.logic.ast import Atom, _as_variable
+from repro.logic.evaluation import _bound_pattern, _extend, row_matches
+from repro.logic.terms import Constant, Term, Variable
+
+Row = tuple[object, ...]
+Assignment = dict[Variable, object]
+Batch = list[Assignment]
+
+
+def _term_value(term: Term, assignment: Mapping[Variable, object]) -> object:
+    return term.value if isinstance(term, Constant) else assignment[term]
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """Filter a batch on compile-time-known equality ``conditions`` (pairs
+    of terms whose values must agree) and copy parameter values onto their
+    equality-class representatives (``binds``: source -> target variable).
+    """
+
+    conditions: tuple[tuple[Term, Term], ...] = ()
+    binds: tuple[tuple[Variable, Variable], ...] = ()
+
+    def __str__(self) -> str:
+        parts = [f"{a} = {b}" for a, b in self.conditions]
+        parts += [f"?{target} := ?{source}" for source, target in self.binds]
+        return "filter " + ", ".join(parts)
+
+    def run(self, db, batch: Batch) -> Batch:
+        out: Batch = []
+        for assignment in batch:
+            if any(
+                _term_value(a, assignment) != _term_value(b, assignment)
+                for a, b in self.conditions
+            ):
+                continue
+            if self.binds:
+                assignment = dict(assignment)
+                for source, target in self.binds:
+                    assignment[target] = assignment[source]
+            out.append(assignment)
+        return out
+
+
+@dataclass(frozen=True)
+class FetchOp:
+    """Fetch ``atom``'s matching tuples for a whole batch with one
+    :meth:`lookup_many` keyed on ``key_positions``, then join each row
+    group back to its source assignment.
+
+    ``check_positions`` are bound positions outside the lookup key (they
+    arise under embedded access rules, whose access path is keyed on the
+    rule inputs only); rows that disagree there are filtered out.
+    ``bind_positions`` are the variable positions the fetch newly binds --
+    a repeated new variable must bind consistently across its positions.
+    ``dedup_positions`` (embedded rules only) deduplicate the fetched
+    output projections per source assignment, matching the rule's
+    "at most N distinct Y-projections" contract.
+    """
+
+    atom: Atom
+    key_positions: tuple[int, ...]
+    check_positions: tuple[int, ...]
+    bind_positions: tuple[int, ...]
+    dedup_positions: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        # Pre-resolve every term access so the per-row loops below touch
+        # no Atom/Term machinery (frozen dataclass: set via object).
+        terms = self.atom.terms
+        object.__setattr__(
+            self,
+            "_key_consts",
+            tuple(
+                (p, terms[p].value)
+                for p in self.key_positions
+                if isinstance(terms[p], Constant)
+            ),
+        )
+        object.__setattr__(
+            self,
+            "_key_vars",
+            tuple(
+                (p, terms[p])
+                for p in self.key_positions
+                if not isinstance(terms[p], Constant)
+            ),
+        )
+        object.__setattr__(
+            self,
+            "_check_items",
+            tuple(
+                (p, isinstance(terms[p], Constant),
+                 terms[p].value if isinstance(terms[p], Constant) else terms[p])
+                for p in self.check_positions
+            ),
+        )
+        object.__setattr__(
+            self, "_bind_items", tuple((p, terms[p]) for p in self.bind_positions)
+        )
+
+    def __str__(self) -> str:
+        binds = ", ".join(f"?{self.atom.terms[p]}" for p in self.bind_positions)
+        return f"fetch {self.atom} [key {self.key_positions}]" + (
+            f" binding {binds}" if binds else ""
+        )
+
+    def run(self, db, batch: Batch) -> Batch:
+        key_consts = self._key_consts
+        key_vars = self._key_vars
+        patterns = []
+        for assignment in batch:
+            pattern = dict(key_consts)
+            for p, var in key_vars:
+                pattern[p] = assignment[var]
+            patterns.append(pattern)
+        groups = db.lookup_many(self.atom.relation, patterns)
+        check_items = self._check_items
+        bind_items = self._bind_items
+        dedup_positions = self.dedup_positions
+        out: Batch = []
+        append = out.append
+        for assignment, rows in zip(batch, groups):
+            if not rows:
+                continue
+            seen: set[Row] | None = set() if dedup_positions is not None else None
+            for row in rows:
+                ok = True
+                for p, is_const, ref in check_items:
+                    if (ref if is_const else assignment[ref]) != row[p]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if seen is not None:
+                    projection = tuple(row[p] for p in dedup_positions)
+                    if projection in seen:
+                        continue
+                    seen.add(projection)
+                extended = dict(assignment)
+                for p, term in bind_items:
+                    if term in extended:
+                        if extended[term] != row[p]:
+                            ok = False
+                            break
+                    else:
+                        extended[term] = row[p]
+                if ok:
+                    append(extended)
+        return out
+
+
+@dataclass(frozen=True)
+class ProbeOp:
+    """Verify the fully-bound ``atom`` for a whole batch with one
+    :meth:`contains_many` membership call."""
+
+    atom: Atom
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "_items",
+            tuple(
+                (isinstance(t, Constant), t.value if isinstance(t, Constant) else t)
+                for t in self.atom.terms
+            ),
+        )
+
+    def __str__(self) -> str:
+        return f"probe {self.atom}"
+
+    def run(self, db, batch: Batch) -> Batch:
+        if not batch:
+            return batch
+        items = self._items
+        rows = [
+            tuple(ref if is_const else assignment[ref] for is_const, ref in items)
+            for assignment in batch
+        ]
+        verdicts = db.contains_many(self.atom.relation, rows)
+        return [a for a, present in zip(batch, verdicts) if present]
+
+
+@dataclass(frozen=True)
+class ProjectDedupOp:
+    """Project each assignment onto the head terms and deduplicate,
+    preserving first-derivation order.  Terminal operator: its output
+    batch holds answer rows, not assignments."""
+
+    head_terms: tuple[Term, ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "_items",
+            tuple(
+                (isinstance(t, Constant), t.value if isinstance(t, Constant) else t)
+                for t in self.head_terms
+            ),
+        )
+
+    def __str__(self) -> str:
+        head = ", ".join(
+            str(t) if isinstance(t, Constant) else f"?{t}" for t in self.head_terms
+        )
+        return f"project/dedup ({head})"
+
+    def run(self, db, batch: Batch) -> list[Row]:
+        items = self._items
+        answers: dict[Row, None] = {}
+        for assignment in batch:
+            answers.setdefault(
+                tuple(ref if is_const else assignment[ref] for is_const, ref in items),
+                None,
+            )
+        return list(answers)
+
+
+Operator = FilterOp | FetchOp | ProbeOp | ProjectDedupOp
+
+
+def _parameter_constraints(
+    plan: Plan,
+) -> tuple[
+    tuple[tuple[Term, Term], ...],
+    tuple[tuple[Variable, Variable], ...],
+    set[Variable],
+]:
+    """The equality constraints ``plan``'s parameters carry, and the set of
+    representative variables they leave bound.
+
+    A parameter whose equality class collapsed to a constant becomes a
+    value check; two parameters in the same class must agree; a parameter
+    whose representative is a *different* variable has its value copied
+    onto that representative (the substituted atoms mention only
+    representatives).
+    """
+    subst = plan.query.equality_substitution() or {}
+    conditions: list[tuple[Term, Term]] = []
+    binds: list[tuple[Variable, Variable]] = []
+    bound: set[Variable] = set()
+    first_with_rep: dict[Variable, Variable] = {}
+    for v in plan.parameters:
+        rep = subst.get(v, v)
+        if isinstance(rep, Constant):
+            conditions.append((v, rep))
+            continue
+        if rep in first_with_rep:
+            conditions.append((first_with_rep[rep], v))
+            continue
+        first_with_rep[rep] = v
+        if rep != v:
+            binds.append((v, rep))
+        bound.add(rep)
+    return tuple(conditions), tuple(binds), bound
+
+
+def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
+    """Lower ``plan``'s fetch/probe steps into the physical operator
+    pipeline.  The set of bound variables before each step is known at
+    compile time, so every operator's key/check/bind positions are static.
+    """
+    if not plan.satisfiable:
+        return ()
+    conditions, binds, bound = _parameter_constraints(plan)
+    ops: list[Operator] = []
+    if conditions or binds:
+        ops.append(FilterOp(conditions, binds))
+    for step in plan.steps:
+        if isinstance(step, ProbeStep):
+            ops.append(ProbeOp(step.atom))
+            continue
+        terms = step.atom.terms
+        determined = tuple(
+            p
+            for p, t in enumerate(terms)
+            if isinstance(t, Constant) or t in bound
+        )
+        if isinstance(step.rule, EmbeddedAccessRule):
+            key = step.input_positions
+            check = tuple(p for p in determined if p not in key)
+            dedup = step.output_positions
+            bindable = step.output_positions
+        else:
+            key = determined
+            check = ()
+            dedup = None
+            bindable = tuple(range(len(terms)))
+        bind = tuple(
+            p
+            for p in bindable
+            if isinstance(terms[p], Variable) and terms[p] not in bound
+        )
+        ops.append(FetchOp(step.atom, key, check, bind, dedup))
+        bound.update(step.binds)
+    ops.append(ProjectDedupOp(plan.head_terms))
+    return tuple(ops)
+
+
+def pipeline_for(plan: Plan) -> tuple[Operator, ...]:
+    """The memoized pipeline for ``plan`` (lowered once, reused by every
+    execution; plans are immutable so the cache can never go stale)."""
+    ops = plan._pipeline
+    if ops is None:
+        ops = build_pipeline(plan)
+        plan._pipeline = ops
+    return ops
+
+
+def merge_parameter_values(
+    parameters: Mapping[object, object] | None, kwargs: Mapping[str, object]
+) -> Assignment:
+    """Merge a parameter mapping and keyword arguments into one
+    variable-keyed assignment (kwargs win on collision).  Shared by
+    :meth:`Plan.execute`, the executor entry points and the Engine facade.
+    """
+    values: Assignment = {}
+    for source in (parameters or {}), kwargs:
+        for key, value in source.items():
+            values[_as_variable(key)] = value
+    return values
+
+
+def _seed_assignment(
+    plan: Plan,
+    parameters: Mapping[object, object] | None,
+    kwargs: Mapping[str, object],
+) -> Assignment:
+    """Validate the supplied parameter values against the plan's declared
+    parameters and return the initial assignment."""
+    values = merge_parameter_values(parameters, kwargs)
+    declared = set(plan.parameters)
+    extra = [v for v in values if v not in declared]
+    if extra:
+        raise ValueError(
+            "bindings for variables that are not plan parameters "
+            "(recompile with them as parameters to constrain the answer): "
+            + ", ".join(f"?{v}" for v in extra)
+        )
+    missing = [v for v in plan.parameters if v not in values]
+    if missing:
+        raise ValueError(
+            "missing plan parameters: " + ", ".join(f"?{v}" for v in missing)
+        )
+    return {v: values[v] for v in plan.parameters}
+
+
+def execute_plan(
+    plan: Plan,
+    db,
+    parameters: Mapping[object, object] | None = None,
+    **kwargs: object,
+) -> tuple[Row, ...]:
+    """Run ``plan`` on ``db`` through the batched operator pipeline and
+    return the deduplicated answer tuples.
+
+    Parameter values may be passed as a mapping (keys are variables or
+    their names) and/or as keyword arguments.
+    """
+    seed = _seed_assignment(plan, parameters, kwargs)
+    if not plan.satisfiable:
+        return ()
+    batch: list = [seed]
+    for op in pipeline_for(plan):
+        batch = op.run(db, batch)
+    return tuple(batch)
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Measured behaviour of one operator during one execution."""
+
+    operator: str
+    rows_in: int
+    rows_out: int
+    tuples_accessed: int
+    indexed_lookups: int
+    full_scans: int
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """One plan execution's answers plus per-operator row counts and
+    access accounting (the payload of ``explain_analyze``)."""
+
+    plan: Plan
+    rows: tuple[Row, ...]
+    operators: tuple[OperatorProfile, ...]
+
+    @property
+    def tuples_accessed(self) -> int:
+        return sum(op.tuples_accessed for op in self.operators)
+
+    def __str__(self) -> str:
+        lines = []
+        params = ", ".join(f"?{v}" for v in self.plan.parameters) or "none"
+        lines.append(f"parameters: {params}")
+        for i, op in enumerate(self.operators, 1):
+            lines.append(
+                f"{i}. {op.operator}  "
+                f"[rows {op.rows_in} -> {op.rows_out}, "
+                f"{op.tuples_accessed} tuples, "
+                f"{op.indexed_lookups} lookups, {op.full_scans} scans]"
+            )
+        lines.append(
+            f"answers: {len(self.rows)} rows, "
+            f"{self.tuples_accessed} tuples accessed "
+            f"(bound {self.plan.fanout_bound})"
+        )
+        return "\n".join(lines)
+
+
+def profile_plan(
+    plan: Plan,
+    db,
+    parameters: Mapping[object, object] | None = None,
+    **kwargs: object,
+) -> PlanProfile:
+    """Like :func:`execute_plan`, but record per-operator row counts and
+    access-statistics deltas along the way."""
+    seed = _seed_assignment(plan, parameters, kwargs)
+    if not plan.satisfiable:
+        return PlanProfile(plan, (), ())
+    profiles: list[OperatorProfile] = []
+    batch: list = [seed]
+    for op in pipeline_for(plan):
+        before = db.stats.snapshot()
+        out = op.run(db, batch)
+        delta = db.stats.since(before)
+        profiles.append(
+            OperatorProfile(
+                str(op),
+                len(batch),
+                len(out),
+                delta.tuples_accessed,
+                delta.indexed_lookups,
+                delta.full_scans,
+            )
+        )
+        batch = out
+    return PlanProfile(plan, tuple(batch), tuple(profiles))
+
+
+# -- the per-tuple reference path ----------------------------------------
+
+
+def execute_per_tuple(
+    plan: Plan,
+    db,
+    parameters: Mapping[object, object] | None = None,
+    **kwargs: object,
+) -> tuple[Row, ...]:
+    """The pre-pipeline reference executor: a recursive generator that
+    issues one :meth:`lookup`/:meth:`contains` per partial assignment.
+
+    Semantically identical to :func:`execute_plan`; kept as the baseline
+    for differential tests and for :mod:`repro.bench`'s batched-vs-
+    per-tuple comparison.  Not the production path.
+    """
+    seed = _seed_assignment(plan, parameters, kwargs)
+    if not plan.satisfiable:
+        return ()
+    conditions, binds, _ = _parameter_constraints(plan)
+    for a, b in conditions:
+        if _term_value(a, seed) != _term_value(b, seed):
+            return ()
+    for source, target in binds:
+        seed[target] = seed[source]
+    answers: dict[Row, None] = {}
+    for final in _run_per_tuple(plan, db, 0, seed):
+        answers.setdefault(
+            tuple(_term_value(t, final) for t in plan.head_terms), None
+        )
+    return tuple(answers)
+
+
+def _run_per_tuple(
+    plan: Plan, db, i: int, assignment: Assignment
+) -> Iterator[Assignment]:
+    if i == len(plan.steps):
+        yield assignment
+        return
+    step = plan.steps[i]
+    if isinstance(step, ProbeStep):
+        row = tuple(_term_value(t, assignment) for t in step.atom.terms)
+        if db.contains(step.atom.relation, row):
+            yield from _run_per_tuple(plan, db, i + 1, assignment)
+        return
+
+    atom = step.atom
+    if isinstance(step.rule, EmbeddedAccessRule):
+        # The access path is keyed on the rule's inputs only; other bound
+        # positions are filtered after the fetch, and only the rule's
+        # outputs become bound (deduplicated projections).
+        pattern = {
+            p: _term_value(atom.terms[p], assignment)
+            for p in step.input_positions
+        }
+        seen: set[Row] = set()
+        for row in db.lookup(atom.relation, pattern):
+            if not row_matches(atom, row, assignment):
+                continue
+            projection = tuple(row[p] for p in step.output_positions)
+            if projection in seen:
+                continue
+            seen.add(projection)
+            extended = dict(assignment)
+            consistent = True
+            for p in step.output_positions:
+                term = atom.terms[p]
+                if isinstance(term, Constant):
+                    continue
+                if term in extended and extended[term] != row[p]:
+                    consistent = False
+                    break
+                extended[term] = row[p]
+            if consistent:
+                yield from _run_per_tuple(plan, db, i + 1, extended)
+        return
+
+    # Plain (or full) access rule: key the lookup on every position that
+    # is already bound -- a superset of the rule's inputs, so the declared
+    # bound still applies and the lookup is at least as selective as the
+    # access path guarantees.
+    pattern = _bound_pattern(atom, assignment)
+    for row in db.lookup(atom.relation, pattern):
+        extended = _extend(atom, row, assignment)
+        if extended is not None:
+            yield from _run_per_tuple(plan, db, i + 1, extended)

@@ -1,4 +1,5 @@
-"""Scale-independent query plans (Fan, Geerts & Libkin 2014, Section 4).
+"""The planner for scale-independent queries (Fan, Geerts & Libkin 2014,
+Section 4).
 
 :func:`compile_plan` turns a controlled conjunctive query into a
 left-deep fetch/join plan: an ordered sequence of
@@ -17,6 +18,11 @@ number of tuples a plan touches is bounded by the product of its rules'
 cardinality bounds -- independent of the database size, which is the whole
 point.
 
+This module only *plans*.  Physical execution lives in
+:mod:`repro.core.executor`, which lowers the steps into a batched
+operator pipeline; :meth:`Plan.execute` is a convenience wrapper around
+:func:`repro.core.executor.execute_plan`.
+
 If the query is not controlled by the given parameters,
 :func:`compile_plan` raises :class:`repro.errors.NotControlledError`
 naming the variables and atoms the fixpoint could not reach.
@@ -25,18 +31,16 @@ naming the variables and atoms the fixpoint could not reach.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Mapping
 
-from repro.core.access_schema import AccessRule, AccessSchema, EmbeddedAccessRule
+from repro.core.access_schema import AccessRule, AccessSchema
 from repro.core.controllability import _is_bound
 from repro.errors import NotControlledError
 from repro.logic.ast import Atom, _as_variable
 from repro.logic.cq import ConjunctiveQuery, Substitution
-from repro.logic.evaluation import _bound_pattern, _extend
 from repro.logic.terms import Constant, Term, Variable
 
 Row = tuple[object, ...]
-Assignment = dict[Variable, object]
 
 
 @dataclass(frozen=True)
@@ -75,7 +79,14 @@ Step = FetchStep | ProbeStep
 class Plan:
     """A compiled scale-independent plan for a conjunctive query."""
 
-    __slots__ = ("query", "parameters", "steps", "head_terms", "satisfiable")
+    __slots__ = (
+        "query",
+        "parameters",
+        "steps",
+        "head_terms",
+        "satisfiable",
+        "_pipeline",
+    )
 
     def __init__(
         self,
@@ -90,6 +101,9 @@ class Plan:
         self.steps = steps
         self.head_terms = head_terms
         self.satisfiable = satisfiable
+        # The lowered physical-operator pipeline, memoized by
+        # repro.core.executor.pipeline_for on first execution.
+        self._pipeline = None
 
     def __repr__(self) -> str:
         return (
@@ -145,110 +159,12 @@ class Plan:
         the deduplicated answer tuples.
 
         Parameter values may be passed as a mapping (keys are variables or
-        their names) and/or as keyword arguments.
+        their names) and/or as keyword arguments.  Delegates to the batched
+        operator pipeline in :mod:`repro.core.executor`.
         """
-        values = merge_parameter_values(parameters, kwargs)
-        declared = set(self.parameters)
-        extra = [v for v in values if v not in declared]
-        if extra:
-            raise ValueError(
-                "bindings for variables that are not plan parameters "
-                "(recompile with them as parameters to constrain the answer): "
-                + ", ".join(f"?{v}" for v in extra)
-            )
-        missing = [v for v in self.parameters if v not in values]
-        if missing:
-            raise ValueError(
-                "missing plan parameters: " + ", ".join(f"?{v}" for v in missing)
-            )
-        if not self.satisfiable:
-            return ()
-        assignment = {v: values[v] for v in self.parameters}
-        answers: dict[Row, None] = {}
-        for final in self._run(db, 0, assignment):
-            row = []
-            for term in self.head_terms:
-                row.append(term.value if isinstance(term, Constant) else final[term])
-            answers.setdefault(tuple(row), None)
-        return tuple(answers)
+        from repro.core.executor import execute_plan
 
-    def _run(self, db, i: int, assignment: Assignment) -> Iterator[Assignment]:
-        if i == len(self.steps):
-            yield assignment
-            return
-        step = self.steps[i]
-        if isinstance(step, ProbeStep):
-            row = tuple(
-                t.value if isinstance(t, Constant) else assignment[t]
-                for t in step.atom.terms
-            )
-            if db.contains(step.atom.relation, row):
-                yield from self._run(db, i + 1, assignment)
-            return
-
-        atom = step.atom
-        if isinstance(step.rule, EmbeddedAccessRule):
-            # The access path is keyed on the rule's inputs only; other
-            # bound positions are filtered after the fetch, and only the
-            # rule's outputs become bound (deduplicated projections).
-            pattern = {
-                p: (atom.terms[p].value if isinstance(atom.terms[p], Constant) else assignment[atom.terms[p]])
-                for p in step.input_positions
-            }
-            seen: set[Row] = set()
-            for row in db.lookup(atom.relation, pattern):
-                if not _matches(atom, row, assignment):
-                    continue
-                projection = tuple(row[p] for p in step.output_positions)
-                if projection in seen:
-                    continue
-                seen.add(projection)
-                extended = dict(assignment)
-                consistent = True
-                for p in step.output_positions:
-                    term = atom.terms[p]
-                    if isinstance(term, Constant):
-                        continue
-                    if term in extended and extended[term] != row[p]:
-                        consistent = False
-                        break
-                    extended[term] = row[p]
-                if consistent:
-                    yield from self._run(db, i + 1, extended)
-            return
-
-        # Plain (or full) access rule: key the lookup on every position
-        # that is already bound -- a superset of the rule's inputs, so the
-        # declared bound still applies and the lookup is at least as
-        # selective as the access path guarantees.
-        pattern = _bound_pattern(atom, assignment)
-        for row in db.lookup(atom.relation, pattern):
-            extended = _extend(atom, row, assignment)
-            if extended is not None:
-                yield from self._run(db, i + 1, extended)
-
-
-def merge_parameter_values(
-    parameters: Mapping[object, object] | None, kwargs: Mapping[str, object]
-) -> Assignment:
-    """Merge a parameter mapping and keyword arguments into one
-    variable-keyed assignment (kwargs win on collision).  Shared by
-    :meth:`Plan.execute` and the Engine facade."""
-    values: Assignment = {}
-    for source in (parameters or {}), kwargs:
-        for key, value in source.items():
-            values[_as_variable(key)] = value
-    return values
-
-
-def _matches(atom: Atom, row: Row, assignment: Mapping[Variable, object]) -> bool:
-    for p, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            if term.value != row[p]:
-                return False
-        elif term in assignment and assignment[term] != row[p]:
-            return False
-    return True
+        return execute_plan(self, db, parameters, **kwargs)
 
 
 def compile_plan(

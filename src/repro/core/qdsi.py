@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.access_schema import AccessSchema
+from repro.core.executor import execute_plan
 from repro.core.plans import Plan, compile_plan
 from repro.errors import NotControlledError
 from repro.logic.cq import ConjunctiveQuery
@@ -48,7 +49,17 @@ def decide_qdsi(
     budget: int,
 ) -> QDSIResult:
     """Decide whether ``query`` is scale independent in ``database`` under
-    ``access`` within a budget of ``budget`` tuple accesses."""
+    ``access`` within a budget of ``budget`` tuple accesses.
+
+    ``budget`` must be a non-negative integer; anything else (negative,
+    bool, float, ...) raises :class:`ValueError` rather than producing a
+    nonsense verdict.
+    """
+    if isinstance(budget, bool) or not isinstance(budget, int):
+        raise ValueError(
+            f"budget must be a non-negative integer number of tuple "
+            f"accesses, got {budget!r}"
+        )
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
 
@@ -61,7 +72,7 @@ def decide_qdsi(
 
     before = database.stats.snapshot()
     if plan is not None:
-        answers = plan.execute(database)
+        answers = execute_plan(plan, database)
         how = "scale-independent plan"
     else:
         answers = query.evaluate(database)

@@ -6,8 +6,10 @@ Two evaluators live here:
   relational atoms.  At every step it greedily picks the atom with the most
   bound positions, so lookups go through the database's hash indexes
   whenever possible.  This is the engine behind
-  :meth:`repro.logic.cq.ConjunctiveQuery.evaluate` and the executor for
-  scale-independent plans.
+  :meth:`repro.logic.cq.ConjunctiveQuery.evaluate`; the batched operator
+  pipeline for scale-independent plans (:mod:`repro.core.executor`) shares
+  this module's join helpers (:func:`row_matches`, the pattern/extension
+  utilities) rather than reimplementing them.
 * :func:`holds` / :func:`satisfying_assignments` -- the textbook
   active-domain semantics for arbitrary first-order formulas.  Quantifiers
   range over the active domain: every value occurring in the database or in
@@ -54,6 +56,21 @@ def _bound_pattern(atom: Atom, assignment: Mapping[Variable, object]) -> dict[in
         elif term in assignment:
             pattern[i] = assignment[term]
     return pattern
+
+
+def row_matches(
+    atom: Atom, row: Sequence[object], assignment: Mapping[Variable, object]
+) -> bool:
+    """Whether ``row`` agrees with ``atom`` at every position whose value is
+    already determined (a constant, or a variable bound in ``assignment``).
+    Positions held by unbound variables are unconstrained."""
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            if term.value != row[i]:
+                return False
+        elif term in assignment and assignment[term] != row[i]:
+            return False
+    return True
 
 
 def _extend(atom: Atom, row: Sequence[object], assignment: Assignment) -> Assignment | None:

@@ -2,11 +2,17 @@
 
 A :class:`Database` stores each relation as an ordered set of tuples and
 builds per-relation hash indexes lazily, one per set of lookup positions.
-Every read goes through :meth:`Database.lookup`, :meth:`Database.scan` or
-:meth:`Database.contains` and is recorded in :class:`AccessStats` -- this
-accounting is the empirical measuring stick for scale independence: a plan
-is scale independent precisely when the number of tuples it accesses is
-bounded regardless of the database size.
+Every read goes through :meth:`Database.lookup`, :meth:`Database.scan`,
+:meth:`Database.contains` or their bulk forms :meth:`Database.lookup_many`
+and :meth:`Database.contains_many`, and is recorded in
+:class:`AccessStats` -- this accounting is the empirical measuring stick
+for scale independence: a plan is scale independent precisely when the
+number of tuples it accesses is bounded regardless of the database size.
+
+The bulk forms exist for the batch-at-a-time executor
+(:mod:`repro.core.executor`): one call serves a whole batch of patterns,
+resolving each *distinct* key against the hash index (and accounting it)
+exactly once, however many patterns in the batch share it.
 """
 
 from __future__ import annotations
@@ -109,18 +115,62 @@ class Database:
             return self.scan(relation)
         rel = self.schema.relation(relation)
         positions = tuple(sorted(pattern))
-        for p in positions:
-            if not 0 <= p < rel.arity:
-                raise SchemaError(
-                    f"position {p} out of range for relation {relation!r} "
-                    f"of arity {rel.arity}"
-                )
+        self._check_positions(relation, rel.arity, positions)
         index = self._index_for(relation, positions)
         key = tuple(_plain(pattern[p]) for p in positions)
         rows = index.get(key, ())
         self.stats.indexed_lookups += 1
         self.stats.tuples_accessed += len(rows)
         return tuple(rows)
+
+    def lookup_many(
+        self, relation: str, patterns: Sequence[Mapping[int, object]]
+    ) -> tuple[tuple[Row, ...], ...]:
+        """Bulk :meth:`lookup`: one result group per pattern, aligned with
+        ``patterns``.
+
+        Each *distinct* ``(positions, key)`` pair is resolved against the
+        hash index -- and counted in :attr:`stats` -- exactly once, however
+        many patterns in the batch share it; this is what makes
+        batch-at-a-time execution touch strictly fewer tuples than one
+        :meth:`lookup` per pattern.  An empty pattern degenerates to one
+        (shared, counted-once) full scan.
+        """
+        patterns = list(patterns)
+        if not patterns:
+            return ()
+        rel = self.schema.relation(relation)
+        stats = self.stats
+        groups: list[tuple[Row, ...]] = []
+        fetched: dict[tuple[tuple[int, ...], Row], tuple[Row, ...]] = {}
+        scanned: tuple[Row, ...] | None = None
+        # Patterns in one batch almost always share their position set
+        # (the executor's lookup keys are static per operator), so the
+        # index is re-resolved only when the positions actually change.
+        last_keys = None
+        positions: tuple[int, ...] = ()
+        index: dict[Row, list[Row]] = {}
+        for pattern in patterns:
+            if not pattern:
+                if scanned is None:
+                    scanned = self.scan(relation)
+                groups.append(scanned)
+                continue
+            keys = pattern.keys()
+            if keys != last_keys:
+                positions = tuple(sorted(keys))
+                self._check_positions(relation, rel.arity, positions)
+                index = self._index_for(relation, positions)
+                last_keys = keys
+            key = tuple([_plain(pattern[p]) for p in positions])
+            rows = fetched.get((positions, key))
+            if rows is None:
+                rows = tuple(index.get(key, ()))
+                stats.indexed_lookups += 1
+                stats.tuples_accessed += len(rows)
+                fetched[positions, key] = rows
+            groups.append(rows)
+        return tuple(groups)
 
     def scan(self, relation: str) -> tuple[Row, ...]:
         """All tuples of ``relation`` -- a full scan, counted as such."""
@@ -140,6 +190,28 @@ class Database:
         if present:
             self.stats.tuples_accessed += 1
         return present
+
+    def contains_many(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> tuple[bool, ...]:
+        """Bulk :meth:`contains`: one verdict per row, aligned with
+        ``rows``.  Each *distinct* row is probed (and accounted) once,
+        however often it recurs in the batch."""
+        rel = self.schema.relation(relation)
+        store = self._rows[relation]
+        verdicts: list[bool] = []
+        probed: dict[Row, bool] = {}
+        for row in rows:
+            row = rel.validate_tuple(tuple(_plain(v) for v in row))
+            present = probed.get(row)
+            if present is None:
+                self.stats.indexed_lookups += 1
+                present = row in store
+                if present:
+                    self.stats.tuples_accessed += 1
+                probed[row] = present
+            verdicts.append(present)
+        return tuple(verdicts)
 
     # -- unaccounted metadata --------------------------------------------
 
@@ -166,6 +238,17 @@ class Database:
         return f"Database({{{sizes}}})"
 
     # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _check_positions(
+        relation: str, arity: int, positions: tuple[int, ...]
+    ) -> None:
+        for p in positions:
+            if not 0 <= p < arity:
+                raise SchemaError(
+                    f"position {p} out of range for relation {relation!r} "
+                    f"of arity {arity}"
+                )
 
     def _index_for(
         self, relation: str, positions: tuple[int, ...]

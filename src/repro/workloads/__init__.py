@@ -1,0 +1,48 @@
+"""Synthetic workloads for exercising scale independence empirically.
+
+The paper's running example is a social network; :mod:`repro.workloads.social`
+provides a seeded generator for it (``person``/``friend``/``visits``
+relations with configurable size and degree skew, degrees capped so the
+declared access rules stay truthful) and the running queries Q1/Q2/Q3 as
+ready-made :class:`QueryBundle` objects -- each a ``(schema, access,
+query)`` triple that builds a ready-to-run
+:class:`~repro.api.engine.Engine` in one call.
+
+:mod:`repro.bench` drives these workloads at increasing database sizes to
+demonstrate the paper's central claim: tuples accessed stay flat while the
+database grows.
+"""
+
+from repro.workloads.social import (
+    CITIES,
+    DEFAULT_MAX_FRIENDS,
+    DEFAULT_MAX_VISITS,
+    Q1,
+    Q2,
+    Q3,
+    RUNNING_QUERIES,
+    SOCIAL_ACCESS,
+    SOCIAL_SCHEMA,
+    QueryBundle,
+    generate_social_network,
+    sample_pids,
+    social_access_text,
+    social_engine,
+)
+
+__all__ = [
+    "QueryBundle",
+    "Q1",
+    "Q2",
+    "Q3",
+    "RUNNING_QUERIES",
+    "SOCIAL_SCHEMA",
+    "SOCIAL_ACCESS",
+    "CITIES",
+    "DEFAULT_MAX_FRIENDS",
+    "DEFAULT_MAX_VISITS",
+    "social_access_text",
+    "generate_social_network",
+    "social_engine",
+    "sample_pids",
+]

@@ -1,0 +1,208 @@
+"""The paper's social-network workload: seeded data plus Q1/Q2/Q3.
+
+The generator produces a ``person(pid, name, city)`` / ``friend(pid1,
+pid2)`` / ``visits(pid, url)`` instance whose out-degrees follow a Pareto
+(heavy-tailed) distribution -- some users have many friends and visit many
+pages, most have few -- **capped at the access-rule bounds**, so the
+declared access schema's cardinality promises are actually true of the
+data.  Everything is driven by one :class:`random.Random` seed: the same
+``(persons, seed, ...)`` arguments always produce the identical instance,
+which is what makes differential tests and benchmarks reproducible.
+
+The running queries, each parameterized by a person ``?p``:
+
+* **Q1** -- ``?p``'s friends who live in NYC;
+* **Q2** -- the pages ``?p``'s friends visit;
+* **Q3** -- ``?p``'s friends-of-friends who live in NYC.
+
+All three are controlled by ``{p}`` under the workload's access schema,
+so their plans touch a bounded number of tuples at any database size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.api.engine import Engine, PreparedQuery
+
+Row = tuple[object, ...]
+
+SOCIAL_SCHEMA = "person(pid, name, city); friend(pid1, pid2); visits(pid, url)"
+
+#: Default access-rule cardinality caps; the generator enforces them.
+DEFAULT_MAX_FRIENDS = 32
+DEFAULT_MAX_VISITS = 8
+
+#: Cities, most common first (assignment is harmonically skewed).
+CITIES = ("NYC", "SF", "LA", "CHI", "BOS", "SEA", "ATX", "DEN")
+
+
+def social_access_text(
+    max_friends: int = DEFAULT_MAX_FRIENDS, max_visits: int = DEFAULT_MAX_VISITS
+) -> str:
+    """The access schema a production social network would promise:
+    ``pid`` is a key, and friend/visit fan-outs are bounded."""
+    return (
+        f"person(pid -> 1); "
+        f"friend(pid1 -> {max_friends}); "
+        f"visits(pid -> {max_visits})"
+    )
+
+
+SOCIAL_ACCESS = social_access_text()
+
+
+@dataclass(frozen=True)
+class QueryBundle:
+    """A ready-made ``(schema, access, query)`` triple: one of the paper's
+    running queries together with everything needed to run it."""
+
+    name: str
+    description: str
+    schema: str
+    access: str
+    query: str
+    parameters: tuple[str, ...]
+
+    def engine(
+        self,
+        data: Mapping[str, Iterable[Sequence[object]]] | None = None,
+        **engine_kwargs: object,
+    ) -> Engine:
+        """A fresh :class:`Engine` over the bundle's schema and access
+        rules, optionally preloaded with ``data``."""
+        return Engine(self.schema, self.access, data, **engine_kwargs)
+
+    def prepare(self, engine: Engine) -> PreparedQuery:
+        """The bundle's query parsed and validated against ``engine``."""
+        return engine.query(self.query)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.query}"
+
+
+Q1 = QueryBundle(
+    name="Q1",
+    description="?p's friends who live in NYC",
+    schema=SOCIAL_SCHEMA,
+    access=SOCIAL_ACCESS,
+    query="Q(y) :- friend(p, y), person(y, n, 'NYC')",
+    parameters=("p",),
+)
+
+Q2 = QueryBundle(
+    name="Q2",
+    description="the pages ?p's friends visit",
+    schema=SOCIAL_SCHEMA,
+    access=SOCIAL_ACCESS,
+    query="Q(u) :- friend(p, y), visits(y, u)",
+    parameters=("p",),
+)
+
+Q3 = QueryBundle(
+    name="Q3",
+    description="?p's friends-of-friends who live in NYC",
+    schema=SOCIAL_SCHEMA,
+    access=SOCIAL_ACCESS,
+    query="Q(z) :- friend(p, y), friend(y, z), person(z, n, 'NYC')",
+    parameters=("p",),
+)
+
+RUNNING_QUERIES = (Q1, Q2, Q3)
+
+
+def _degree(rng: random.Random, skew: float, cap: int) -> int:
+    """A Pareto-distributed out-degree in ``[1, cap]``.  Smaller ``skew``
+    means a heavier tail (more hubs)."""
+    return min(cap, int(rng.paretovariate(skew)))
+
+
+def generate_social_network(
+    persons: int,
+    *,
+    seed: int = 0,
+    max_friends: int = DEFAULT_MAX_FRIENDS,
+    max_visits: int = DEFAULT_MAX_VISITS,
+    skew: float = 1.5,
+    cities: Sequence[str] = CITIES,
+) -> dict[str, list[Row]]:
+    """A seeded ``{relation: rows}`` social-network instance of ``persons``
+    people.
+
+    Out-degrees (friend edges per person, pages visited per person) are
+    Pareto-skewed with exponent ``skew`` and capped at ``max_friends`` /
+    ``max_visits``, so the access schema from :func:`social_access_text`
+    with the same caps is truthful on the generated data.  Identical
+    arguments produce the identical instance.
+    """
+    if persons < 1:
+        raise ValueError(f"persons must be >= 1, got {persons}")
+    if max_friends < 1 or max_visits < 1:
+        raise ValueError("max_friends and max_visits must be >= 1")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    rng = random.Random(seed)
+
+    weights = [1.0 / (i + 1) for i in range(len(cities))]
+    person_rows: list[Row] = [
+        (pid, f"u{pid}", rng.choices(cities, weights)[0])
+        for pid in range(persons)
+    ]
+
+    friend_rows: list[Row] = []
+    if persons > 1:
+        for pid in range(persons):
+            degree = min(_degree(rng, skew, max_friends), persons - 1)
+            targets: set[int] = set()
+            while len(targets) < degree:
+                target = rng.randrange(persons)
+                if target != pid:
+                    targets.add(target)
+            friend_rows.extend((pid, t) for t in sorted(targets))
+
+    # Pages form a pool that grows with the network, so a bigger database
+    # means more *distinct* pages, not denser per-person activity.
+    pages = max(8, persons // 2)
+    visits_rows: list[Row] = []
+    for pid in range(persons):
+        degree = _degree(rng, skew, max_visits)
+        urls = {rng.randrange(pages) for _ in range(degree)}
+        visits_rows.extend((pid, f"url{u}") for u in sorted(urls))
+
+    return {"person": person_rows, "friend": friend_rows, "visits": visits_rows}
+
+
+def social_engine(
+    persons: int,
+    *,
+    seed: int = 0,
+    max_friends: int = DEFAULT_MAX_FRIENDS,
+    max_visits: int = DEFAULT_MAX_VISITS,
+    skew: float = 1.5,
+    **engine_kwargs: object,
+) -> Engine:
+    """An :class:`Engine` over the social schema, its access rules (with
+    the given caps) and a freshly generated ``persons``-sized instance."""
+    return Engine(
+        SOCIAL_SCHEMA,
+        social_access_text(max_friends, max_visits),
+        generate_social_network(
+            persons,
+            seed=seed,
+            max_friends=max_friends,
+            max_visits=max_visits,
+            skew=skew,
+        ),
+        **engine_kwargs,
+    )
+
+
+def sample_pids(persons: int, count: int, *, seed: int = 0) -> list[int]:
+    """``count`` person ids sampled with replacement -- the parameter
+    stream for a benchmark run.  Seeded on a stream derived from (but
+    independent of) the data generator's, so parameter choice never
+    perturbs the generated instance."""
+    rng = random.Random(seed * 2654435761 + 97)
+    return [rng.randrange(persons) for _ in range(count)]

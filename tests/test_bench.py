@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness (tiny sizes -- these must stay fast)."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_VERSION, default_output_path, run_bench, summarize
+
+
+@pytest.fixture(scope="module")
+def bench_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
+    doc = run_bench(
+        sizes=(20, 80), seed=0, repeats=1, params_per_size=3, output=out
+    )
+    return doc, out
+
+
+def test_writes_json_document(bench_doc):
+    doc, out = bench_doc
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["bench_version"] == BENCH_VERSION
+    assert on_disk["sizes"] == [20, 80]
+    assert on_disk["records"] == doc["records"]
+
+
+def test_records_cover_all_queries_sizes_and_modes(bench_doc):
+    doc, _ = bench_doc
+    keys = {(r["query"], r["size"], r["mode"]) for r in doc["records"]}
+    assert keys == {
+        (q, s, m)
+        for q in ("Q1", "Q2", "Q3")
+        for s in (20, 80)
+        for m in ("batched", "per_tuple")
+    }
+
+
+def test_tuples_stay_within_fanout_bound_and_no_scans(bench_doc):
+    doc, _ = bench_doc
+    for record in doc["records"]:
+        assert record["tuples_accessed_max"] <= record["fanout_bound"]
+        assert record["full_scans"] == 0
+    for entry in doc["summary"].values():
+        assert entry["within_fanout_bound"] is True
+
+
+def test_summary_has_speedup_and_flatness_evidence(bench_doc):
+    doc, _ = bench_doc
+    for name in ("Q1", "Q2", "Q3"):
+        entry = doc["summary"][name]
+        assert set(entry["tuples_accessed_by_size"]) == {"20", "80"}
+        assert "speedup_at_largest" in entry
+
+
+def test_plan_cache_sees_hits(bench_doc):
+    doc, _ = bench_doc
+    for cache in doc["plan_cache"].values():
+        assert cache["hits"] > 0
+        assert 0.0 < cache["hit_rate"] <= 1.0
+
+
+def test_output_false_skips_writing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_bench(sizes=(15,), repeats=1, params_per_size=2, output=False)
+    assert not default_output_path(tmp_path).exists()
+
+
+def test_rejects_degenerate_sizes():
+    with pytest.raises(ValueError, match="sizes"):
+        run_bench(sizes=(), output=False)
+    with pytest.raises(ValueError, match="sizes"):
+        run_bench(sizes=(1,), output=False)
+
+
+def test_default_output_path_is_versioned(tmp_path):
+    assert default_output_path(tmp_path).name == f"BENCH_{BENCH_VERSION}.json"
+
+
+def test_summarize_groups_by_query(bench_doc):
+    doc, _ = bench_doc
+    from repro.bench import BenchRecord
+
+    records = [BenchRecord(**r) for r in doc["records"]]
+    assert set(summarize(records)) == {"Q1", "Q2", "Q3"}
+
+
+def test_cli_runs_and_prints_table(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_cli.json"
+    assert (
+        main(
+            [
+                "--sizes",
+                "15,30",
+                "--repeats",
+                "1",
+                "--params",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    assert out.exists()
+    printed = capsys.readouterr().out
+    assert "speedup" in printed
+    assert "Q3" in printed

@@ -1,0 +1,75 @@
+"""Differential testing: the operator pipeline vs naive evaluation.
+
+Every workload query (Q1/Q2/Q3) runs on small seeded social networks
+through three executors -- the batched pipeline, the per-tuple reference
+path, and naive active-domain join evaluation -- and must produce the
+identical answer set for every parameter value.  Separately, every
+controlled execution must stay within the plan's a-priori fanout bound.
+"""
+
+import pytest
+
+from repro.core.executor import execute_per_tuple, execute_plan
+from repro.logic.parser import parse_query
+from repro.workloads import RUNNING_QUERIES, generate_social_network, social_engine
+
+SIZES_AND_SEEDS = [(20, 0), (20, 7), (60, 1), (120, 3)]
+
+
+def _engines():
+    for persons, seed in SIZES_AND_SEEDS:
+        yield persons, seed, social_engine(persons, seed=seed)
+
+
+@pytest.mark.parametrize("bundle", RUNNING_QUERIES, ids=lambda b: b.name)
+def test_pipeline_matches_naive_evaluation_on_all_parameters(bundle):
+    for persons, seed, engine in _engines():
+        prepared = bundle.prepare(engine)
+        plan = prepared.plan(bundle.parameters)
+        db = engine.require_database()
+        query = parse_query(bundle.query, schema=engine.schema)
+        param = bundle.parameters[0]
+        for pid in range(persons):
+            batched = set(execute_plan(plan, db, {param: pid}))
+            per_tuple = set(execute_per_tuple(plan, db, {param: pid}))
+            naive = set(query.evaluate(db, {param: pid}))
+            assert batched == per_tuple == naive, (
+                f"{bundle.name} disagrees at persons={persons} seed={seed} "
+                f"pid={pid}"
+            )
+
+
+@pytest.mark.parametrize("bundle", RUNNING_QUERIES, ids=lambda b: b.name)
+def test_every_controlled_execution_stays_within_fanout_bound(bundle):
+    for persons, seed, engine in _engines():
+        prepared = bundle.prepare(engine)
+        db = engine.require_database()
+        param = bundle.parameters[0]
+        for pid in range(persons):
+            result = prepared.execute({param: pid})
+            assert result.fanout_bound is not None
+            assert result.stats.tuples_accessed <= result.fanout_bound, (
+                f"{bundle.name} over bound at persons={persons} seed={seed} "
+                f"pid={pid}: {result.stats.tuples_accessed} > "
+                f"{result.fanout_bound}"
+            )
+            assert result.stats.full_scans == 0
+
+
+def test_generated_instances_respect_declared_bounds():
+    """The generator must keep the access schema truthful: the per-key
+    group sizes can never exceed the declared rule bounds."""
+    from repro.workloads import DEFAULT_MAX_FRIENDS, DEFAULT_MAX_VISITS
+
+    for persons, seed in SIZES_AND_SEEDS:
+        data = generate_social_network(persons, seed=seed)
+        by_pid1: dict[object, int] = {}
+        for pid1, _pid2 in data["friend"]:
+            by_pid1[pid1] = by_pid1.get(pid1, 0) + 1
+        assert all(n <= DEFAULT_MAX_FRIENDS for n in by_pid1.values())
+        by_visitor: dict[object, int] = {}
+        for pid, _url in data["visits"]:
+            by_visitor[pid] = by_visitor.get(pid, 0) + 1
+        assert all(n <= DEFAULT_MAX_VISITS for n in by_visitor.values())
+        pids = [row[0] for row in data["person"]]
+        assert len(set(pids)) == len(pids) == persons  # pid is a key

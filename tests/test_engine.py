@@ -352,3 +352,114 @@ def test_union_compiles_one_plan_per_disjunct(engine, monkeypatch):
     u.execute(p=2)
     assert len(calls) == 2  # one cache entry covers both plans
     assert engine.cache_stats().hits == 1
+
+
+# -- explain_analyze -------------------------------------------------------
+
+
+def test_explain_analyze_reports_per_operator_rows(engine):
+    report = engine.explain_analyze(NYC_FRIENDS, p=1)
+    assert set(report.result) == {(2,)}
+    assert len(report.profiles) == 1
+    operators = report.profiles[0].operators
+    assert operators[0].rows_in == 1
+    assert all(op.rows_in >= 0 for op in operators)
+    text = str(report)
+    assert "fetch" in text and "rows" in text and "total" in text
+
+
+def test_explain_analyze_union_has_one_profile_per_disjunct(engine):
+    report = engine.query(
+        "Q(y) :- friend(p, y) ; Q(y) :- friend(y, p)"
+    ).explain_analyze(p=1)
+    assert len(report.profiles) == 2
+    assert "disjunct" in str(report)
+
+
+def test_explain_analyze_matches_execute(engine):
+    q = engine.query(NYC_FRIENDS)
+    assert set(q.explain_analyze(p=1).result) == set(q.execute(p=1))
+
+
+def test_explain_analyze_accounting_matches_result_stats(engine):
+    report = engine.query(NYC_FRIENDS).explain_analyze(p=1)
+    per_operator = sum(p.tuples_accessed for p in report.profiles)
+    assert per_operator == report.result.stats.tuples_accessed
+
+
+# -- satellite hardening ---------------------------------------------------
+
+
+def test_union_disjuncts_must_agree_on_head_names(engine):
+    with pytest.raises(ValueError, match="head variable names"):
+        engine.query("Q(y) :- friend(p, y) ; Q(z) :- friend(z, p)")
+
+
+def test_union_with_agreeing_heads_still_prepares(engine):
+    q = engine.query("Q(y) :- friend(p, y) ; Q(y) :- friend(y, p)")
+    assert q.columns == ("y",)
+
+
+def test_decide_qdsi_rejects_non_integer_budget(engine):
+    q = engine.query(NYC_FRIENDS)
+    for bad in (1.5, "10", True, None):
+        with pytest.raises(ValueError, match="budget"):
+            q.decide_qdsi(budget=bad)
+
+
+def test_decide_qdsi_rejects_negative_budget(engine):
+    with pytest.raises(ValueError, match="non-negative"):
+        engine.query(NYC_FRIENDS).decide_qdsi(budget=-3)
+
+
+def test_plan_cache_is_thread_safe_under_concurrent_traffic(engine):
+    import threading
+
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def hammer(worker: int):
+        barrier.wait()
+        try:
+            for i in range(100):
+                result = engine.execute(NYC_FRIENDS, p=(i % 5) + 1)
+                assert result.fanout_bound is not None
+                if worker == 0 and i % 25 == 0:
+                    engine.clear_plan_cache()
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    stats = engine.cache_stats()
+    assert stats.invalidations >= 4
+    assert stats.hits + stats.misses >= 800
+
+
+def test_cache_stats_count_invalidations(engine):
+    engine.execute(NYC_FRIENDS, p=1)
+    engine.access = ACCESS_TEXT  # replacing the access schema invalidates
+    engine.clear_plan_cache()
+    assert engine.cache_stats().invalidations == 2
+
+
+def test_stale_plans_cached_in_flight_are_never_served_after_access_change(engine):
+    # Simulate a compile that raced an access replacement: it stored its
+    # plans under the access-schema version it compiled against. After
+    # the replacement bumps the version, that key must be unreachable --
+    # so replay the losing side of the race by hand: grab the plans and
+    # key from before the change, swap the access schema, then re-insert
+    # the stale entry behind the engine's back.
+    from repro.logic.terms import Variable
+
+    q = engine.query(NYC_FRIENDS)
+    params = frozenset({Variable("p")})
+    old_version, _ = engine._access_state
+    stale_plans = engine._plans_for(q.query, params)
+    engine.access = "friend(pid1 -> 7); friend(pid2 -> 7); person(pid -> 1)"
+    engine._cache.put((old_version, q.query, params), stale_plans)
+    assert q.execute(p=1).fanout_bound == 7 + 7 * 1  # not the stale 5005

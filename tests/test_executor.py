@@ -1,0 +1,264 @@
+"""Tests for the batched physical-operator pipeline (repro.core.executor)
+and the bulk access API it runs on (lookup_many / contains_many).
+
+The pipeline must agree with the per-tuple reference path on every query
+shape the planner can emit, touch no more tuples than it, and expose
+per-operator row counts through profile_plan.
+"""
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    DatabaseSchema,
+    EmbeddedAccessRule,
+    Equality,
+    RelationSchema,
+    compile_plan,
+)
+from repro.core.executor import (
+    FetchOp,
+    FilterOp,
+    ProbeOp,
+    ProjectDedupOp,
+    build_pipeline,
+    execute_per_tuple,
+    execute_plan,
+    pipeline_for,
+    profile_plan,
+)
+from repro.errors import SchemaError
+
+Q1 = ConjunctiveQuery(
+    ["x"],
+    [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+)
+
+
+class TestBulkAccess:
+    def test_lookup_many_aligns_groups_with_patterns(self, social_db):
+        groups = social_db.lookup_many("friend", [{0: 1}, {0: 2}, {0: 99}])
+        assert groups == (((1, 2), (1, 3)), ((2, 4),), ())
+
+    def test_lookup_many_counts_distinct_keys_once(self, social_db):
+        social_db.reset_stats()
+        social_db.lookup_many("friend", [{0: 1}, {0: 1}, {0: 1}])
+        assert social_db.stats.indexed_lookups == 1
+        assert social_db.stats.tuples_accessed == 2
+
+    def test_lookup_many_matches_lookup_semantics(self, social_db):
+        patterns = [{0: 1}, {1: 4}, {0: 1, 1: 2}, {}]
+        bulk = social_db.lookup_many("friend", patterns)
+        for pattern, group in zip(patterns, bulk):
+            assert group == social_db.lookup("friend", pattern)
+
+    def test_lookup_many_empty_pattern_scans_once(self, social_db):
+        social_db.reset_stats()
+        social_db.lookup_many("friend", [{}, {}])
+        assert social_db.stats.full_scans == 1
+
+    def test_lookup_many_rejects_bad_positions(self, social_db):
+        with pytest.raises(SchemaError, match="out of range"):
+            social_db.lookup_many("friend", [{7: 1}])
+
+    def test_lookup_many_empty_batch(self, social_db):
+        assert social_db.lookup_many("friend", []) == ()
+
+    def test_contains_many_aligns_and_dedups(self, social_db):
+        social_db.reset_stats()
+        verdicts = social_db.contains_many(
+            "friend", [(1, 2), (9, 9), (1, 2), (2, 4)]
+        )
+        assert verdicts == (True, False, True, True)
+        assert social_db.stats.indexed_lookups == 3  # (1, 2) probed once
+        assert social_db.stats.tuples_accessed == 2
+
+    def test_contains_many_validates_rows(self, social_db):
+        with pytest.raises(SchemaError):
+            social_db.contains_many("friend", [(1, 2, 3)])
+
+
+class TestPipelineShape:
+    def test_q1_pipeline_operators(self, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        ops = build_pipeline(plan)
+        assert [type(op) for op in ops] == [FetchOp, FetchOp, ProjectDedupOp]
+
+    def test_embedded_rule_produces_probe(self, social_schema):
+        access = AccessSchema(
+            social_schema,
+            [
+                EmbeddedAccessRule("friend", ["pid1"], ["pid2"], bound=100),
+                AccessRule("person", ["pid"], bound=1),
+            ],
+        )
+        plan = compile_plan(Q1, access, ["p"])
+        ops = build_pipeline(plan)
+        assert ProbeOp in {type(op) for op in ops}
+        fetch = next(op for op in ops if isinstance(op, FetchOp))
+        assert fetch.dedup_positions is not None
+
+    def test_unsatisfiable_plan_has_empty_pipeline(self, social_access):
+        q = ConjunctiveQuery(
+            ["x"],
+            [Atom("friend", ["?p", "?x"])],
+            [Equality("?p", 1), Equality("?p", 2)],
+        )
+        plan = compile_plan(q, social_access)
+        assert build_pipeline(plan) == ()
+
+    def test_pipeline_is_memoized_per_plan(self, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        assert pipeline_for(plan) is pipeline_for(plan)
+
+    def test_operators_render(self, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        rendered = [str(op) for op in build_pipeline(plan)]
+        assert any("fetch" in line for line in rendered)
+        assert any("project/dedup" in line for line in rendered)
+
+
+class TestBatchedMatchesPerTuple:
+    def test_q1_every_parameter(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        for pid in range(1, 7):
+            batched = execute_plan(plan, social_db, p=pid)
+            reference = execute_per_tuple(plan, social_db, p=pid)
+            assert set(batched) == set(reference)
+            assert set(batched) == set(Q1.evaluate(social_db, {"p": pid}))
+
+    def test_batched_touches_no_more_tuples(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        social_db.reset_stats()
+        execute_plan(plan, social_db, p=1)
+        batched = social_db.stats.snapshot()
+        social_db.reset_stats()
+        execute_per_tuple(plan, social_db, p=1)
+        per_tuple = social_db.stats.snapshot()
+        assert batched.tuples_accessed <= per_tuple.tuples_accessed
+        assert batched.tuples_accessed <= plan.fanout_bound
+        assert batched.full_scans == 0
+
+    def test_repeated_variable_atom(self, social_db, social_access):
+        # friend(x, x): the same new variable at two positions must bind
+        # consistently.
+        q = ConjunctiveQuery(["x"], [Atom("friend", ["?x", "?x"])])
+        access = AccessSchema(
+            social_db.schema, [AccessRule("friend", [], bound=100)]
+        )
+        plan = compile_plan(q, access)
+        social_db.add("friend", (7, 7))
+        assert set(execute_plan(plan, social_db)) == {(7,)}
+        assert set(execute_per_tuple(plan, social_db)) == {(7,)}
+
+    def test_embedded_rule_matches_reference(self, social_schema, social_db):
+        access = AccessSchema(
+            social_schema,
+            [
+                EmbeddedAccessRule("friend", ["pid1"], ["pid2"], bound=100),
+                AccessRule("person", ["pid"], bound=1),
+            ],
+        )
+        plan = compile_plan(Q1, access, ["p"])
+        for pid in range(1, 7):
+            assert set(execute_plan(plan, social_db, p=pid)) == set(
+                execute_per_tuple(plan, social_db, p=pid)
+            ) == set(Q1.evaluate(social_db, {"p": pid}))
+
+    def test_constants_used_as_keys(self, social_db, social_access):
+        q = ConjunctiveQuery(["x"], [Atom("friend", [4, "?x"])])
+        plan = compile_plan(q, social_access)
+        social_db.reset_stats()
+        assert execute_plan(plan, social_db) == ((5,),)
+        assert social_db.stats.full_scans == 0
+
+
+class TestParameterEqualities:
+    """Equalities that involve plan parameters become FilterOp work."""
+
+    def _friend_setup(self):
+        schema = DatabaseSchema([RelationSchema("friend", ["a", "b"])])
+        access = AccessSchema(schema, [AccessRule("friend", ["a"], bound=10)])
+        db = Database(schema, {"friend": [(1, 2), (1, 3), (2, 4)]})
+        return access, db
+
+    def test_parameter_equated_to_variable_either_orientation(self):
+        access, db = self._friend_setup()
+        for left, right in (("?p", "?x"), ("?x", "?p")):
+            q = ConjunctiveQuery(
+                ["y"], [Atom("friend", ["?x", "?y"])], [Equality(left, right)]
+            )
+            plan = compile_plan(q, access, ["p"])
+            db.reset_stats()
+            assert set(execute_plan(plan, db, p=1)) == {(2,), (3,)}
+            assert db.stats.full_scans == 0
+            assert set(execute_per_tuple(plan, db, p=1)) == {(2,), (3,)}
+
+    def test_parameter_equated_to_constant_filters_values(self):
+        access, db = self._friend_setup()
+        q = ConjunctiveQuery(
+            ["y"], [Atom("friend", ["?p", "?y"])], [Equality("?p", 1)]
+        )
+        plan = compile_plan(q, access, ["p"])
+        ops = build_pipeline(plan)
+        assert isinstance(ops[0], FilterOp)
+        assert set(execute_plan(plan, db, p=1)) == {(2,), (3,)}
+        assert execute_plan(plan, db, p=2) == ()  # contradicts ?p = 1
+        assert execute_per_tuple(plan, db, p=2) == ()
+
+    def test_two_parameters_in_same_class_must_agree(self):
+        access, db = self._friend_setup()
+        q = ConjunctiveQuery(
+            ["y"],
+            [Atom("friend", ["?p", "?y"])],
+            [Equality("?p", "?q")],
+        )
+        plan = compile_plan(q, access, ["p", "q"])
+        assert set(execute_plan(plan, db, p=1, q=1)) == {(2,), (3,)}
+        assert execute_plan(plan, db, p=1, q=2) == ()
+        assert execute_per_tuple(plan, db, p=1, q=2) == ()
+
+
+class TestEntryPointValidation:
+    def test_missing_parameter_rejected(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        with pytest.raises(ValueError, match="missing plan parameters"):
+            execute_plan(plan, social_db)
+
+    def test_extra_binding_rejected(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        with pytest.raises(ValueError, match="not plan parameters"):
+            execute_plan(plan, social_db, p=1, zzz=9)
+
+    def test_unsatisfiable_returns_empty(self, social_db, social_access):
+        q = ConjunctiveQuery(
+            ["x"],
+            [Atom("friend", ["?p", "?x"])],
+            [Equality("?p", 1), Equality("?p", 2)],
+        )
+        plan = compile_plan(q, social_access)
+        assert execute_plan(plan, social_db) == ()
+        assert execute_per_tuple(plan, social_db) == ()
+
+
+class TestProfile:
+    def test_profile_reports_per_operator_rows(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        profile = profile_plan(plan, social_db, p=1)
+        assert set(profile.rows) == set(execute_plan(plan, social_db, p=1))
+        assert len(profile.operators) == 3
+        first = profile.operators[0]
+        assert first.rows_in == 1  # the seed assignment
+        assert first.rows_out == 2  # person 1 has two friends
+        assert profile.tuples_accessed <= plan.fanout_bound
+        assert "fetch" in str(profile)
+
+    def test_profile_row_counts_chain(self, social_db, social_access):
+        plan = compile_plan(Q1, social_access, ["p"])
+        profile = profile_plan(plan, social_db, p=1)
+        for prev, nxt in zip(profile.operators, profile.operators[1:]):
+            assert nxt.rows_in == prev.rows_out

@@ -52,6 +52,16 @@ EXPECTED_EXPORTS = {
     "FetchStep",
     "ProbeStep",
     "compile_plan",
+    # the physical executor
+    "FetchOp",
+    "ProbeOp",
+    "FilterOp",
+    "ProjectDedupOp",
+    "OperatorProfile",
+    "PlanProfile",
+    "build_pipeline",
+    "execute_plan",
+    "profile_plan",
     # deciders
     "QDSIResult",
     "decide_qdsi",
@@ -61,6 +71,7 @@ EXPECTED_EXPORTS = {
     "Engine",
     "PreparedQuery",
     "ResultSet",
+    "ExplainAnalyze",
     "CacheStats",
 }
 
@@ -109,9 +120,12 @@ def test_subpackages_import():
         "repro.logic.parser",
         "repro.relational",
         "repro.core",
+        "repro.core.executor",
         "repro.api",
         "repro.api.cache",
         "repro.api.engine",
+        "repro.workloads",
+        "repro.bench",
     ):
         importlib.import_module(mod)
 

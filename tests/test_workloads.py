@@ -1,0 +1,101 @@
+"""Tests for the synthetic social-network workload generator and the
+ready-made Q1/Q2/Q3 query bundles."""
+
+import pytest
+
+from repro.workloads import (
+    CITIES,
+    Q1,
+    Q2,
+    Q3,
+    RUNNING_QUERIES,
+    QueryBundle,
+    generate_social_network,
+    sample_pids,
+    social_access_text,
+    social_engine,
+)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        assert generate_social_network(40, seed=5) == generate_social_network(
+            40, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        assert generate_social_network(40, seed=5) != generate_social_network(
+            40, seed=6
+        )
+
+    def test_size_scales_person_count(self):
+        for persons in (1, 10, 250):
+            data = generate_social_network(persons, seed=0)
+            assert len(data["person"]) == persons
+
+    def test_caps_are_enforced(self):
+        data = generate_social_network(200, seed=2, max_friends=3, max_visits=2)
+        degrees: dict[object, int] = {}
+        for pid1, _ in data["friend"]:
+            degrees[pid1] = degrees.get(pid1, 0) + 1
+        assert max(degrees.values()) <= 3
+        visits: dict[object, int] = {}
+        for pid, _ in data["visits"]:
+            visits[pid] = visits.get(pid, 0) + 1
+        assert max(visits.values()) <= 2
+
+    def test_skew_produces_hubs_and_leaves(self):
+        data = generate_social_network(500, seed=0, skew=1.1)
+        degrees: dict[object, int] = {}
+        for pid1, _ in data["friend"]:
+            degrees[pid1] = degrees.get(pid1, 0) + 1
+        assert max(degrees.values()) > min(degrees.values())
+
+    def test_cities_come_from_the_pool(self):
+        data = generate_social_network(50, seed=0)
+        assert {row[2] for row in data["person"]} <= set(CITIES)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_social_network(0)
+        with pytest.raises(ValueError):
+            generate_social_network(10, max_friends=0)
+        with pytest.raises(ValueError):
+            generate_social_network(10, skew=0)
+
+    def test_single_person_has_no_friends(self):
+        data = generate_social_network(1, seed=0)
+        assert data["friend"] == []
+
+
+class TestBundles:
+    def test_all_bundles_are_controlled_by_their_parameters(self):
+        engine = social_engine(30, seed=0)
+        for bundle in RUNNING_QUERIES:
+            prepared = bundle.prepare(engine)
+            assert prepared.is_controlled(bundle.parameters), bundle.name
+
+    def test_bundle_engine_is_self_contained(self):
+        engine = Q1.engine(generate_social_network(30, seed=0))
+        result = engine.query(Q1.query).execute(p=0)
+        assert result.stats.full_scans == 0
+
+    def test_bundles_render(self):
+        for bundle in RUNNING_QUERIES:
+            assert bundle.name in str(bundle)
+
+    def test_bundles_are_distinct_named_queries(self):
+        assert {Q1.name, Q2.name, Q3.name} == {"Q1", "Q2", "Q3"}
+        assert isinstance(Q1, QueryBundle)
+
+    def test_access_text_embeds_caps(self):
+        text = social_access_text(max_friends=7, max_visits=3)
+        assert "friend(pid1 -> 7)" in text
+        assert "visits(pid -> 3)" in text
+
+
+def test_sample_pids_in_range_and_deterministic():
+    pids = sample_pids(50, 10, seed=1)
+    assert pids == sample_pids(50, 10, seed=1)
+    assert len(pids) == 10
+    assert all(0 <= pid < 50 for pid in pids)
