@@ -16,21 +16,29 @@ The package is organised as follows:
   planner (:mod:`repro.core.plans`), the batched physical-operator
   executor (:mod:`repro.core.executor`) and the decision problems QDSI,
   QSI, QCntl and QCntlmin.
+* :mod:`repro.incremental` -- incremental scale independence (Section 5):
+  every database keeps a monotonic change log, every operator has a delta
+  face, and :class:`IncrementalResult` (from ``execute_incremental``)
+  re-answers a query after updates via ``refresh()`` -- the standard
+  delta rule over the log slice, with access bounded by the slice and the
+  rule bounds, never the database size.
 * :mod:`repro.workloads` -- seeded synthetic workloads: the paper's
-  social-network example with configurable size and degree skew, and the
-  running queries Q1/Q2/Q3 as ready-made bundles.
+  social-network example with configurable size and degree skew, the
+  running queries Q1/Q2/Q3 as ready-made bundles, and seeded churn
+  streams (insert/delete batches honoring the degree caps).
 * :mod:`repro.bench` -- the experiment harness (also ``python -m
   repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
-  fanout bound, and plan-cache hit rates, written to ``BENCH_<n>.json``.
+  fanout bound, refresh-vs-recompute under churn, and plan-cache hit
+  rates, written to ``BENCH_<n>.json``.
 
-Planned (tracked in ROADMAP.md, not yet implemented): ``repro.incremental``
-(incremental scale independence, Section 5) and ``repro.views`` (scale
-independence using views, Section 6).
+Planned (tracked in ROADMAP.md, not yet implemented): ``repro.views``
+(scale independence using views, Section 6).
 
 The most frequently used names are re-exported here for convenience.
 """
 
 from repro.errors import (
+    IncrementalError,
     NotControlledError,
     ParseError,
     ReproError,
@@ -46,7 +54,7 @@ from repro.logic.ucq import UnionOfConjunctiveQueries
 from repro.logic.fo import FirstOrderQuery
 from repro.logic.parser import parse_cq, parse_query
 from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
-from repro.relational.instance import AccessStats, Database
+from repro.relational.instance import AccessStats, ChangeEntry, ChangeLog, Database
 from repro.core.access_schema import (
     AccessRule,
     AccessSchema,
@@ -62,6 +70,7 @@ from repro.core.controllability import (
     is_controlled,
 )
 from repro.core.executor import (
+    ExecutionContext,
     FetchOp,
     FilterOp,
     OperatorProfile,
@@ -69,13 +78,17 @@ from repro.core.executor import (
     ProbeOp,
     ProjectDedupOp,
     build_pipeline,
+    delta_fanout_bound,
     execute_plan,
+    execute_plan_counting,
+    execute_plan_delta,
     profile_plan,
 )
 from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
 from repro.api import CacheStats, Engine, ExplainAnalyze, PreparedQuery, ResultSet
+from repro.incremental import IncrementalResult
 
 __all__ = [
     # errors
@@ -86,6 +99,7 @@ __all__ = [
     "NotControlledError",
     "RewritingError",
     "ParseError",
+    "IncrementalError",
     # terms and formulas
     "Variable",
     "Constant",
@@ -109,6 +123,8 @@ __all__ = [
     "parse_schema",
     "Database",
     "AccessStats",
+    "ChangeEntry",
+    "ChangeLog",
     # access schemas
     "AccessRule",
     "EmbeddedAccessRule",
@@ -126,6 +142,7 @@ __all__ = [
     "ProbeStep",
     "compile_plan",
     # the physical executor
+    "ExecutionContext",
     "FetchOp",
     "ProbeOp",
     "FilterOp",
@@ -135,6 +152,11 @@ __all__ = [
     "build_pipeline",
     "execute_plan",
     "profile_plan",
+    # incremental execution
+    "IncrementalResult",
+    "execute_plan_counting",
+    "execute_plan_delta",
+    "delta_fanout_bound",
     # deciders
     "QDSIResult",
     "decide_qdsi",
@@ -148,4 +170,4 @@ __all__ = [
     "CacheStats",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

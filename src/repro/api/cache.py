@@ -13,9 +13,9 @@ every operation (get/put/invalidate/stats) takes an internal lock: the
 cache's own structure and hit/miss/eviction/invalidation counters stay
 consistent under concurrent executes against one
 :class:`~repro.api.engine.Engine`.  (Per-execution *database* access
-deltas are a separate concern: they are read off the engine's shared
-:class:`~repro.relational.instance.AccessStats` and are not isolated
-per thread -- see ROADMAP.)
+deltas are isolated separately: each execution charges its own
+:class:`~repro.core.executor.ExecutionContext` stats, so concurrent
+``ResultSet.stats`` never contaminate each other.)
 """
 
 from __future__ import annotations

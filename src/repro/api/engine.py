@@ -22,16 +22,31 @@ set)`` (:mod:`repro.api.cache`), so a repeated ``execute`` with the same
 parameter names -- the hot path of a parameterized workload -- skips
 :func:`~repro.core.plans.compile_plan` entirely.  Replacing the access
 schema invalidates the cache, since plans embed access rules.
+
+Every execution runs in its own
+:class:`~repro.core.executor.ExecutionContext`: the ``ResultSet.stats``
+it returns are that execution's private counters, exact even when many
+threads execute against one engine concurrently (the database's own
+:attr:`~repro.relational.instance.Database.stats` stay the cumulative
+engine-wide view).  For data that changes, ``execute_incremental``
+returns an :class:`~repro.incremental.IncrementalResult` whose
+``refresh()`` re-answers the query from the database's change log with
+delta-bounded access instead of recomputing::
+
+    live = q.execute_incremental(p=42)
+    engine.database.insert_many("Friend", new_edges)
+    live.refresh()                # touches O(|delta|) tuples, not O(answer)
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.api.cache import CacheStats, PlanCache
 from repro.core.access_schema import AccessSchema
 from repro.core.executor import (
+    ExecutionContext,
     PlanProfile,
     execute_plan,
     merge_parameter_values,
@@ -49,6 +64,9 @@ from repro.logic.ucq import UnionOfConjunctiveQueries
 from repro.relational.instance import AccessStats, Database
 from repro.relational.schema import DatabaseSchema
 
+if TYPE_CHECKING:
+    from repro.incremental import IncrementalResult
+
 Row = tuple[object, ...]
 Query = ConjunctiveQuery | UnionOfConjunctiveQueries
 
@@ -56,10 +74,13 @@ Query = ConjunctiveQuery | UnionOfConjunctiveQueries
 class ResultSet:
     """The rows of one execution together with its access accounting.
 
-    Behaves like a read-only sequence of answer tuples; ``stats`` is the
-    :class:`~repro.relational.instance.AccessStats` delta attributable to
-    this execution and ``fanout_bound`` the plans' a-priori bound on
-    tuples accessed (None when no plan was used).
+    Behaves like a read-only sequence of answer tuples; ``stats`` is this
+    execution's private :class:`~repro.relational.instance.AccessStats`
+    (charged through the execution's own
+    :class:`~repro.core.executor.ExecutionContext`, so concurrent
+    executions against one engine never contaminate each other's
+    counters) and ``fanout_bound`` the plans' a-priori bound on tuples
+    accessed (None when no plan was used).
     """
 
     __slots__ = ("rows", "columns", "stats", "fanout_bound")
@@ -125,7 +146,13 @@ class ResultSet:
 class ExplainAnalyze:
     """The payload of ``explain_analyze``: the executed :class:`ResultSet`
     plus one per-operator :class:`~repro.core.executor.PlanProfile` per
-    disjunct, with measured row counts and access accounting."""
+    disjunct, with measured row counts and access accounting.
+
+    Also the payload of
+    :meth:`~repro.incremental.IncrementalResult.explain_analyze`, where
+    the profiled operators are the refresh path's delta pipeline
+    (``Δ[level]`` slice joins, ``new[level]`` prefix fetches,
+    ``old[level]`` snapshot fetches)."""
 
     __slots__ = ("result", "profiles")
 
@@ -264,14 +291,34 @@ class PreparedQuery:
         values = merge_parameter_values(parameters, kwargs)
         database = self._engine.require_database()
         plans = self._engine._plans_for(self.query, frozenset(values))
-        before = database.stats.snapshot()
+        ctx = ExecutionContext(database)
         rows: dict[Row, None] = {}
         for plan in plans:
-            for row in execute_plan(plan, database, values):
+            for row in execute_plan(plan, ctx, values):
                 rows.setdefault(row, None)
-        stats = database.stats.since(before)
         fanout = sum(plan.fanout_bound for plan in plans)
-        return ResultSet(rows, self.columns, stats, fanout)
+        return ResultSet(rows, self.columns, ctx.stats, fanout)
+
+    def execute_incremental(
+        self,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> "IncrementalResult":
+        """Execute like :meth:`execute`, but materialize the answers as an
+        :class:`~repro.incremental.IncrementalResult`: after database
+        mutations, ``result.refresh()`` re-answers the query from the
+        change log with delta-bounded access instead of recomputing.
+
+        Plans are compiled (or fetched) through the engine's plan cache,
+        whose keys carry the access-schema version; a refresh that
+        observes a newer version rebases onto freshly compiled plans.
+        Raises :class:`~repro.errors.IncrementalError` for plans that
+        fetch through embedded access rules.
+        """
+        from repro.incremental import build_incremental
+
+        values = merge_parameter_values(parameters, kwargs)
+        return build_incremental(self._engine, self.query, values, self.columns)
 
     def explain_analyze(
         self,
@@ -286,17 +333,16 @@ class PreparedQuery:
         values = merge_parameter_values(parameters, kwargs)
         database = self._engine.require_database()
         plans = self._engine._plans_for(self.query, frozenset(values))
-        before = database.stats.snapshot()
+        ctx = ExecutionContext(database)
         rows: dict[Row, None] = {}
         profiles = []
         for plan in plans:
-            profile = profile_plan(plan, database, values)
+            profile = profile_plan(plan, ctx, values)
             profiles.append(profile)
             for row in profile.rows:
                 rows.setdefault(row, None)
-        stats = database.stats.since(before)
         fanout = sum(plan.fanout_bound for plan in plans)
-        result = ResultSet(rows, self.columns, stats, fanout)
+        result = ResultSet(rows, self.columns, ctx.stats, fanout)
         return ExplainAnalyze(result, tuple(profiles))
 
     def _check_parameters(self, parameters: frozenset[Variable]) -> None:
@@ -421,8 +467,7 @@ class Engine:
         if self._database is None:
             self._database = Database(self._schema)
         for relation, rows in data.items():
-            for row in rows:
-                self._database.add(relation, row)
+            self._database.insert_many(relation, rows)
         return self
 
     def add(self, relation: str, row: Sequence[object]) -> bool:
@@ -455,6 +500,21 @@ class Engine:
     ) -> ResultSet:
         """One-shot convenience: ``engine.query(q).execute(...)``."""
         return self.query(query).execute(parameters, **kwargs)
+
+    def execute_incremental(
+        self,
+        query: str | Query,
+        parameters: Mapping[object, object] | None = None,
+        **kwargs: object,
+    ) -> "IncrementalResult":
+        """One-shot convenience: ``engine.query(q).execute_incremental(...)``
+        -- materialized answers that ``refresh()`` from the change log."""
+        return self.query(query).execute_incremental(parameters, **kwargs)
+
+    def refresh(self, result: "IncrementalResult") -> "IncrementalResult":
+        """Refresh an :class:`~repro.incremental.IncrementalResult`
+        obtained from this engine (sugar for ``result.refresh()``)."""
+        return result.refresh()
 
     def explain(self, query: str | Query, parameters: Iterable[object] = ()) -> str:
         """One-shot convenience: ``engine.query(q).explain(...)``."""

@@ -11,6 +11,15 @@ Q1/Q2/Q3 at increasing database sizes and records, per (query, size):
   the paper's claim is that this stays flat while the database grows;
 * plan-cache hits/misses for the run's repeated parameterized executes.
 
+On top of that, the **churn scenario** measures incremental scale
+independence (Section 5): per (query, size), materialize
+:class:`~repro.incremental.IncrementalResult` answers, drive a seeded
+insert/delete stream (:func:`repro.workloads.generate_churn`, degree caps
+honored), and record ``refresh()`` wall time and tuples accessed against
+a from-scratch recompute after every batch -- refresh must win on time
+and stay within the delta fanout bound, which depends on the batch, not
+the database.
+
 The results are written to ``BENCH_<n>.json`` (``n`` =
 :data:`BENCH_VERSION`, bumped whenever the measured pipeline changes) so
 the repository accumulates a perf trajectory over time.  CI runs a
@@ -33,12 +42,22 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Literal, Mapping, Sequence
 
+from repro.api.engine import Engine
 from repro.core.executor import execute_per_tuple, execute_plan
-from repro.workloads import RUNNING_QUERIES, QueryBundle, sample_pids, social_engine
+from repro.workloads import (
+    RUNNING_QUERIES,
+    SOCIAL_SCHEMA,
+    QueryBundle,
+    generate_churn,
+    generate_social_network,
+    sample_pids,
+    social_access_text,
+    social_engine,
+)
 
 #: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
 #: pipeline changes materially.
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 DEFAULT_SIZES = (100, 1000, 10000)
 
@@ -57,6 +76,24 @@ class BenchRecord:
     fanout_bound: int
     indexed_lookups: int  # for the worst-case execution
     full_scans: int  # across the whole run; must stay 0
+
+
+@dataclass(frozen=True)
+class ChurnRecord:
+    """One (query, database size) refresh-vs-recompute measurement over a
+    seeded churn stream."""
+
+    query: str
+    size: int
+    batches: int
+    batch_size: int
+    refreshes: int  # refresh/recompute pairs measured
+    refresh_wall_s: float  # mean seconds per incremental refresh
+    recompute_wall_s: float  # mean seconds per from-scratch execute
+    speedup: float  # recompute over refresh
+    refresh_tuples_max: int  # worst refresh's tuples accessed
+    delta_bound_max: int  # that refresh's a-priori delta fanout bound
+    full_scans: int  # across every refresh; must stay 0
 
 
 def _measure_access(plan, db, runner, param_values: Sequence[Mapping]) -> tuple[int, int, int, int]:
@@ -88,6 +125,97 @@ def _time_executions(plan, db, runner, param_values, repeats: int) -> float:
     return best
 
 
+def _run_churn(
+    size: int,
+    *,
+    seed: int,
+    engine_kwargs: Mapping,
+    queries: Sequence[QueryBundle],
+    params_per_size: int,
+    batches: int,
+    batch_size: int,
+) -> list[ChurnRecord]:
+    """The churn scenario at one database size: materialize incremental
+    results for every (query, parameter), apply the seeded churn stream,
+    and measure each refresh against a from-scratch recompute (which must
+    agree -- the bench doubles as an end-to-end differential check)."""
+    caps = {
+        key: engine_kwargs[key]
+        for key in ("max_friends", "max_visits")
+        if key in engine_kwargs
+    }
+    # Generate the instance once and hand it to both the engine and the
+    # churn derivation (social_engine would generate an identical copy).
+    data = generate_social_network(size, **engine_kwargs)
+    engine = Engine(SOCIAL_SCHEMA, social_access_text(**caps), data)
+    db = engine.require_database()
+    stream = generate_churn(
+        data, batches=batches, batch_size=batch_size, seed=seed + 1, **caps
+    )
+    pids = sample_pids(size, params_per_size, seed=seed)
+    prepared = {bundle.name: bundle.prepare(engine) for bundle in queries}
+    live = {
+        (bundle.name, pid): prepared[bundle.name].execute_incremental(
+            {bundle.parameters[0]: pid}
+        )
+        for bundle in queries
+        for pid in pids
+    }
+    acc = {
+        bundle.name: {
+            "refresh": 0.0,
+            "recompute": 0.0,
+            "tuples": 0,
+            "bound": 0,
+            "scans": 0,
+            "n": 0,
+        }
+        for bundle in queries
+    }
+    for batch in stream:
+        batch.apply(db)
+        for bundle in queries:
+            entry = acc[bundle.name]
+            for pid in pids:
+                result = live[bundle.name, pid]
+                start = time.perf_counter()
+                result.refresh()
+                entry["refresh"] += time.perf_counter() - start
+                start = time.perf_counter()
+                fresh = prepared[bundle.name].execute({bundle.parameters[0]: pid})
+                entry["recompute"] += time.perf_counter() - start
+                if set(result.rows) != set(fresh.rows):
+                    raise AssertionError(
+                        f"refresh diverged from recompute: {bundle.name} "
+                        f"size={size} pid={pid}"
+                    )
+                if result.stats.tuples_accessed > entry["tuples"]:
+                    entry["tuples"] = result.stats.tuples_accessed
+                    entry["bound"] = result.delta_bound or 0
+                entry["scans"] += result.stats.full_scans
+                entry["n"] += 1
+    return [
+        ChurnRecord(
+            query=name,
+            size=size,
+            batches=batches,
+            batch_size=batch_size,
+            refreshes=entry["n"],
+            refresh_wall_s=entry["refresh"] / entry["n"] if entry["n"] else 0.0,
+            recompute_wall_s=entry["recompute"] / entry["n"] if entry["n"] else 0.0,
+            speedup=(
+                round(entry["recompute"] / entry["refresh"], 3)
+                if entry["refresh"]
+                else float("inf")
+            ),
+            refresh_tuples_max=entry["tuples"],
+            delta_bound_max=entry["bound"],
+            full_scans=entry["scans"],
+        )
+        for name, entry in acc.items()
+    ]
+
+
 def run_bench(
     sizes: Sequence[int] = DEFAULT_SIZES,
     *,
@@ -96,12 +224,16 @@ def run_bench(
     params_per_size: int = 8,
     queries: Sequence[QueryBundle] = RUNNING_QUERIES,
     max_friends: int | None = None,
+    churn_batches: int = 4,
+    churn_batch_size: int = 16,
     output: str | Path | None | Literal[False] = None,
 ) -> dict:
     """Run the workload ``queries`` at each database size in ``sizes`` and
     return (and optionally write) the benchmark document.
 
-    ``output`` -- path for the JSON document; ``None`` writes the default
+    ``churn_batches`` / ``churn_batch_size`` shape the churn scenario's
+    mutation stream (``churn_batches=0`` disables it).  ``output`` --
+    path for the JSON document; ``None`` writes the default
     ``BENCH_<n>.json`` in the current directory; pass ``output=False`` to
     skip writing.
     """
@@ -160,6 +292,21 @@ def run_bench(
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 
+    churn_records: list[ChurnRecord] = []
+    if churn_batches:
+        for size in sizes:
+            churn_records.extend(
+                _run_churn(
+                    size,
+                    seed=seed,
+                    engine_kwargs=engine_kwargs,
+                    queries=queries,
+                    params_per_size=params_per_size,
+                    batches=churn_batches,
+                    batch_size=churn_batch_size,
+                )
+            )
+
     doc = {
         "bench_version": BENCH_VERSION,
         "workload": "social",
@@ -169,17 +316,25 @@ def run_bench(
         "repeats": repeats,
         "params_per_size": params_per_size,
         "records": [asdict(r) for r in records],
+        "churn": {
+            "batches": churn_batches,
+            "batch_size": churn_batch_size,
+            "records": [asdict(r) for r in churn_records],
+        },
         "plan_cache": cache_stats,
-        "summary": summarize(records),
+        "summary": summarize(records, churn_records),
     }
     if output is not False:
         write_bench(doc, output)
     return doc
 
 
-def summarize(records: Sequence[BenchRecord]) -> dict:
-    """Per-query roll-up: tuples accessed by size (the flatness evidence)
-    and the batched-over-per-tuple speedup at the largest size."""
+def summarize(
+    records: Sequence[BenchRecord], churn_records: Sequence[ChurnRecord] = ()
+) -> dict:
+    """Per-query roll-up: tuples accessed by size (the flatness evidence),
+    the batched-over-per-tuple speedup at the largest size and, when the
+    churn scenario ran, the refresh-over-recompute speedup there too."""
     by_query: dict[str, dict] = {}
     for record in records:
         entry = by_query.setdefault(
@@ -216,6 +371,14 @@ def summarize(records: Sequence[BenchRecord]) -> dict:
         entry["within_fanout_bound"] = all(
             t <= entry["fanout_bound"] for t in tuples.values()
         )
+    churn_largest = max((r.size for r in churn_records), default=0)
+    for record in churn_records:
+        entry = by_query.setdefault(record.query, {})
+        if record.size == churn_largest:
+            entry["refresh_speedup_at_largest"] = record.speedup
+        entry["refresh_within_delta_bound"] = entry.get(
+            "refresh_within_delta_bound", True
+        ) and (record.refresh_tuples_max <= record.delta_bound_max)
     return by_query
 
 

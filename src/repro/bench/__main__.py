@@ -56,6 +56,19 @@ def main(argv: list[str] | None = None) -> int:
         help="friend fan-out cap (defaults to the workload default)",
     )
     parser.add_argument(
+        "--churn-batches",
+        type=int,
+        default=4,
+        help="churn batches per size for the refresh-vs-recompute scenario "
+        "(0 disables it)",
+    )
+    parser.add_argument(
+        "--churn-size",
+        type=int,
+        default=16,
+        help="mutations per churn batch",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (default: BENCH_<version>.json in the cwd)",
@@ -68,6 +81,8 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         params_per_size=args.params,
         max_friends=args.max_friends,
+        churn_batches=args.churn_batches,
+        churn_batch_size=args.churn_size,
         output=args.out,
     )
 
@@ -92,6 +107,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"{speedup:>7.2f}x "
                 f"{batched['tuples_accessed_max']:>7} "
                 f"{batched['fanout_bound']:>7}"
+            )
+    churn = doc.get("churn", {})
+    if churn.get("records"):
+        print(
+            f"\nchurn: {churn['batches']} batches x {churn['batch_size']} "
+            f"mutations per size"
+        )
+        header = (
+            f"{'query':<6} {'size':>8} {'refresh µs':>11} {'recompute µs':>13} "
+            f"{'speedup':>8} {'tuples':>7} {'Δbound':>7}"
+        )
+        print(header)
+        print("-" * len(header))
+        for record in churn["records"]:
+            print(
+                f"{record['query']:<6} {record['size']:>8} "
+                f"{record['refresh_wall_s'] * 1e6:>11.1f} "
+                f"{record['recompute_wall_s'] * 1e6:>13.1f} "
+                f"{record['speedup']:>7.2f}x "
+                f"{record['refresh_tuples_max']:>7} "
+                f"{record['delta_bound_max']:>7}"
             )
     for size, cache in doc["plan_cache"].items():
         print(

@@ -35,22 +35,204 @@ stay within the plan's :attr:`~repro.core.plans.Plan.fanout_bound`.
 executor alive as the reference semantics: differential tests assert the
 pipeline agrees with it, and :mod:`repro.bench` measures the speedup of
 batched over per-tuple execution.
+
+Every execution runs inside an :class:`ExecutionContext` -- the database
+handle, a private per-execution :class:`AccessStats` (charged alongside
+the database's cumulative counters, so concurrent executions never
+contaminate each other's deltas), a change-log watermark and, for
+refreshes, the net change slice past it.  All entry points accept either
+a raw :class:`~repro.relational.instance.Database` (a fresh context is
+opened) or an existing context.
+
+On top of the standard path, every data operator has a *delta* face for
+incremental scale independence (:mod:`repro.incremental`, Section 5):
+
+* ``run_delta`` joins a batch against the in-memory change slice of the
+  operator's relation instead of the stored data (zero tuples accessed);
+* ``run_old`` evaluates against the pre-delta snapshot -- live lookups,
+  corrected in memory by the slice.
+
+:func:`execute_plan_delta` composes them into the standard delta rule:
+for each operator level ``i`` with changes, levels ``< i`` run on the new
+state, level ``i`` joins the change slice, levels ``> i`` run on the old
+state -- so each affected derivation is produced (with its sign) exactly
+once, one bulk database call per level, and the tuples accessed stay
+within :func:`delta_fanout_bound`, a function of the slice size and the
+access-rule bounds only.  :func:`execute_plan_counting` is the matching
+initial pass: it returns per-answer derivation multiplicities, the state
+that makes signed deltas composable under deletion.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.core.access_schema import EmbeddedAccessRule
-from repro.core.plans import Plan, ProbeStep
+from repro.core.plans import FetchStep, Plan, ProbeStep
+from repro.errors import IncrementalError
 from repro.logic.ast import Atom, _as_variable
 from repro.logic.evaluation import _bound_pattern, _extend, row_matches
 from repro.logic.terms import Constant, Term, Variable
+from repro.relational.instance import AccessStats, NetDelta, _plain
 
 Row = tuple[object, ...]
 Assignment = dict[Variable, object]
 Batch = list[Assignment]
+#: A batch whose assignments carry a derivation sign (+1 gained, -1 lost).
+SignedBatch = list[tuple[Assignment, int]]
+
+
+class ExecutionContext:
+    """The per-execution state threaded through every operator.
+
+    One context = one execution: it owns the execution's private
+    :attr:`stats` (every access is charged here *and* in the database's
+    cumulative :attr:`~repro.relational.instance.Database.stats`), the
+    change-log :attr:`watermark` the execution is positioned at, and --
+    for delta executions -- the net change slice past that watermark.
+    Contexts are cheap and never shared across executions; that is what
+    makes per-execution accounting exact under concurrent traffic.
+    """
+
+    __slots__ = ("db", "stats", "watermark", "delta", "_delta_rows", "_delta_index")
+
+    def __init__(
+        self,
+        db,
+        stats: AccessStats | None = None,
+        watermark: int | None = None,
+        delta: NetDelta | None = None,
+        caches: tuple[dict, dict] | None = None,
+    ):
+        self.db = db
+        self.stats = AccessStats() if stats is None else stats
+        self.watermark = db.change_log.watermark if watermark is None else watermark
+        self.delta = delta
+        # Derived views of the slice (row tuples, per-position indexes).
+        # ``caches`` lets consumers of one identical slice share them
+        # across contexts (see ChangeLog.slice_caches); by default they
+        # are private to this context.
+        if caches is None:
+            caches = ({}, {})
+        self._delta_rows: dict[str, tuple[tuple[Row, int], ...]] = caches[0]
+        self._delta_index: dict[tuple, dict[Row, list[tuple[Row, int]]]] = caches[1]
+
+    def __repr__(self) -> str:
+        delta = sum(len(rows) for rows in (self.delta or {}).values())
+        return (
+            f"ExecutionContext(watermark={self.watermark}, "
+            f"delta={delta} rows, {self.stats.tuples_accessed} tuples accessed)"
+        )
+
+    # -- live reads (charged to this execution and the database) ---------
+
+    def lookup(self, relation: str, pattern: Mapping[int, object]) -> tuple[Row, ...]:
+        return self.db.lookup(relation, pattern, self.stats)
+
+    def lookup_many(
+        self, relation: str, patterns: Sequence[Mapping[int, object]]
+    ) -> tuple[tuple[Row, ...], ...]:
+        return self.db.lookup_many(relation, patterns, self.stats)
+
+    def contains(self, relation: str, row: Sequence[object]) -> bool:
+        return self.db.contains(relation, row, self.stats)
+
+    def contains_many(
+        self, relation: str, rows: Sequence[Sequence[object]]
+    ) -> tuple[bool, ...]:
+        return self.db.contains_many(relation, rows, self.stats)
+
+    def scan(self, relation: str) -> tuple[Row, ...]:
+        return self.db.scan(relation, self.stats)
+
+    # -- the change slice ------------------------------------------------
+
+    def delta_net(self, relation: str) -> Mapping[Row, int]:
+        """The net signed changes of ``relation`` in this context's slice."""
+        return (self.delta or {}).get(relation) or {}
+
+    def delta_rows(self, relation: str) -> tuple[tuple[Row, int], ...]:
+        """The slice of ``relation`` as ``(row, sign)`` pairs (memoized)."""
+        rows = self._delta_rows.get(relation)
+        if rows is None:
+            rows = tuple(self.delta_net(relation).items())
+            self._delta_rows[relation] = rows
+        return rows
+
+    def delta_index(
+        self, relation: str, positions: tuple[int, ...]
+    ) -> dict[Row, list[tuple[Row, int]]]:
+        """The slice of ``relation`` hash-indexed on ``positions`` -- the
+        in-memory twin of the database's per-position indexes, so a delta
+        join costs O(batch + slice) instead of their product (memoized per
+        (relation, positions))."""
+        key = (relation, positions)
+        index = self._delta_index.get(key)
+        if index is None:
+            index = {}
+            for row, sign in self.delta_rows(relation):
+                index.setdefault(tuple(row[p] for p in positions), []).append(
+                    (row, sign)
+                )
+            self._delta_index[key] = index
+        return index
+
+    # -- pre-delta snapshot reads ----------------------------------------
+
+    def lookup_many_old(
+        self, relation: str, patterns: Sequence[Mapping[int, object]]
+    ) -> tuple[tuple[Row, ...], ...]:
+        """Bulk lookup against the *pre-delta* snapshot: the live index
+        answers (accounted as usual), corrected in memory by the change
+        slice -- tuples inserted since the watermark are dropped, tuples
+        deleted since it are restored."""
+        groups = self.db.lookup_many(relation, patterns, self.stats)
+        net = self.delta_net(relation)
+        if not net:
+            return groups
+        deleted = [row for row, sign in net.items() if sign < 0]
+        adjusted: list[tuple[Row, ...]] = []
+        for pattern, rows in zip(patterns, groups):
+            rows = tuple(row for row in rows if net.get(row, 0) <= 0)
+            restored = tuple(
+                row
+                for row in deleted
+                if all(row[p] == _plain(v) for p, v in pattern.items())
+            )
+            adjusted.append(rows + restored)
+        return tuple(adjusted)
+
+    def contains_many_old(
+        self, relation: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        """Bulk membership against the pre-delta snapshot: rows the slice
+        says nothing about are probed live; the rest are answered from the
+        slice without touching the database."""
+        net = self.delta_net(relation)
+        if not net:
+            return self.db.contains_many(relation, rows, self.stats)
+        verdicts: list[bool | None] = []
+        unknown: list[Row] = []
+        for row in rows:
+            row = tuple(row)
+            sign = net.get(row)
+            if sign is None:
+                verdicts.append(None)
+                unknown.append(row)
+            else:
+                # Deleted since the watermark -> it was present in the old
+                # state; inserted since -> it was absent.
+                verdicts.append(sign < 0)
+        if unknown:
+            probed = iter(self.db.contains_many(relation, unknown, self.stats))
+            verdicts = [next(probed) if v is None else v for v in verdicts]
+        return tuple(verdicts)
+
+
+def _as_context(db) -> ExecutionContext:
+    """Open a fresh context over ``db``, or pass an existing one through."""
+    return db if isinstance(db, ExecutionContext) else ExecutionContext(db)
 
 
 def _term_value(term: Term, assignment: Mapping[Variable, object]) -> object:
@@ -72,7 +254,7 @@ class FilterOp:
         parts += [f"?{target} := ?{source}" for source, target in self.binds]
         return "filter " + ", ".join(parts)
 
-    def run(self, db, batch: Batch) -> Batch:
+    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
         out: Batch = []
         for assignment in batch:
             if any(
@@ -144,6 +326,15 @@ class FetchOp:
         object.__setattr__(
             self, "_bind_items", tuple((p, terms[p]) for p in self.bind_positions)
         )
+        object.__setattr__(
+            self,
+            "_key_items",
+            tuple(
+                (isinstance(terms[p], Constant),
+                 terms[p].value if isinstance(terms[p], Constant) else terms[p])
+                for p in self.key_positions
+            ),
+        )
 
     def __str__(self) -> str:
         binds = ", ".join(f"?{self.atom.terms[p]}" for p in self.bind_positions)
@@ -151,16 +342,19 @@ class FetchOp:
             f" binding {binds}" if binds else ""
         )
 
-    def run(self, db, batch: Batch) -> Batch:
+    def _patterns(self, assignments) -> list[dict[int, object]]:
         key_consts = self._key_consts
         key_vars = self._key_vars
         patterns = []
-        for assignment in batch:
+        for assignment in assignments:
             pattern = dict(key_consts)
             for p, var in key_vars:
                 pattern[p] = assignment[var]
             patterns.append(pattern)
-        groups = db.lookup_many(self.atom.relation, patterns)
+        return patterns
+
+    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
+        groups = ctx.lookup_many(self.atom.relation, self._patterns(batch))
         check_items = self._check_items
         bind_items = self._bind_items
         dedup_positions = self.dedup_positions
@@ -195,6 +389,82 @@ class FetchOp:
                     append(extended)
         return out
 
+    def _check_delta_supported(self) -> None:
+        # An embedded-rule fetch deduplicates output projections *per
+        # source assignment*, so its derivation count is not a product of
+        # per-level multiplicities and signed deltas cannot be exact.
+        if self.dedup_positions is not None:
+            raise IncrementalError(
+                f"delta execution does not support embedded-rule fetches: {self}"
+            )
+
+    def _extend_signed(self, assignment: Assignment, row: Row) -> Assignment | None:
+        """Extend ``assignment`` with ``row``'s bind positions, or None on a
+        repeated-variable mismatch (the slow-path twin of the inlined loop
+        in :meth:`run`)."""
+        extended = dict(assignment)
+        for p, term in self._bind_items:
+            if term in extended:
+                if extended[term] != row[p]:
+                    return None
+            else:
+                extended[term] = row[p]
+        return extended
+
+    def run_delta(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+        """Join a signed batch against the net change slice of ``atom``'s
+        relation -- the delta face of :meth:`run`.  The slice lives in
+        memory, so this accesses zero stored tuples."""
+        self._check_delta_supported()
+        if not batch or not ctx.delta_net(self.atom.relation):
+            return []
+        out: SignedBatch = []
+        if self.key_positions:
+            index = ctx.delta_index(self.atom.relation, self.key_positions)
+            key_items = self._key_items
+            for assignment, sign in batch:
+                key = tuple(
+                    ref if is_const else assignment[ref] for is_const, ref in key_items
+                )
+                for row, row_sign in index.get(key, ()):
+                    extended = self._extend_signed(assignment, row)
+                    if extended is not None:
+                        out.append((extended, sign * row_sign))
+        else:
+            # A keyless fetch (full-relation rule): every slice row joins
+            # with every assignment.
+            delta = ctx.delta_rows(self.atom.relation)
+            for assignment, sign in batch:
+                for row, row_sign in delta:
+                    extended = self._extend_signed(assignment, row)
+                    if extended is not None:
+                        out.append((extended, sign * row_sign))
+        return out
+
+    def run_old(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+        """:meth:`run` against the pre-delta snapshot, preserving signs:
+        one live :meth:`lookup_many` (accounted as usual), corrected in
+        memory by the change slice."""
+        self._check_delta_supported()
+        if not batch:
+            return []
+        groups = ctx.lookup_many_old(
+            self.atom.relation, self._patterns(a for a, _ in batch)
+        )
+        check_items = self._check_items
+        out: SignedBatch = []
+        for (assignment, sign), rows in zip(batch, groups):
+            for row in rows:
+                if any(
+                    (ref if is_const else assignment[ref]) != row[p]
+                    for p, is_const, ref in check_items
+                ):
+                    continue
+                extended = self._extend_signed(assignment, row)
+                if extended is not None:
+                    out.append((extended, sign))
+        return out
+
 
 @dataclass(frozen=True)
 class ProbeOp:
@@ -216,16 +486,39 @@ class ProbeOp:
     def __str__(self) -> str:
         return f"probe {self.atom}"
 
-    def run(self, db, batch: Batch) -> Batch:
+    def _row(self, assignment: Assignment) -> Row:
+        return tuple(
+            ref if is_const else assignment[ref] for is_const, ref in self._items
+        )
+
+    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
         if not batch:
             return batch
-        items = self._items
-        rows = [
-            tuple(ref if is_const else assignment[ref] for is_const, ref in items)
-            for assignment in batch
-        ]
-        verdicts = db.contains_many(self.atom.relation, rows)
+        rows = [self._row(assignment) for assignment in batch]
+        verdicts = ctx.contains_many(self.atom.relation, rows)
         return [a for a, present in zip(batch, verdicts) if present]
+
+    def run_delta(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+        """Probe the change slice instead of the database: an assignment
+        survives only if its fully-bound row effectively changed, carrying
+        the change's sign.  Accesses zero stored tuples."""
+        net = ctx.delta_net(self.atom.relation)
+        if not net or not batch:
+            return []
+        out: SignedBatch = []
+        for assignment, sign in batch:
+            row_sign = net.get(self._row(assignment), 0)
+            if row_sign:
+                out.append((assignment, sign * row_sign))
+        return out
+
+    def run_old(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+        """:meth:`run` against the pre-delta snapshot, preserving signs."""
+        if not batch:
+            return []
+        rows = [self._row(assignment) for assignment, _ in batch]
+        verdicts = ctx.contains_many_old(self.atom.relation, rows)
+        return [entry for entry, present in zip(batch, verdicts) if present]
 
 
 @dataclass(frozen=True)
@@ -252,15 +545,33 @@ class ProjectDedupOp:
         )
         return f"project/dedup ({head})"
 
-    def run(self, db, batch: Batch) -> list[Row]:
-        items = self._items
+    def _row(self, assignment: Assignment) -> Row:
+        return tuple(
+            ref if is_const else assignment[ref] for is_const, ref in self._items
+        )
+
+    def run(self, ctx: ExecutionContext, batch: Batch) -> list[Row]:
         answers: dict[Row, None] = {}
         for assignment in batch:
-            answers.setdefault(
-                tuple(ref if is_const else assignment[ref] for is_const, ref in items),
-                None,
-            )
+            answers.setdefault(self._row(assignment), None)
         return list(answers)
+
+    def counts(self, batch: Batch) -> dict[Row, int]:
+        """Project like :meth:`run` but return per-answer derivation
+        multiplicities (first-derivation order) instead of deduplicating --
+        the materialized state of :mod:`repro.incremental`."""
+        counts: dict[Row, int] = {}
+        for assignment in batch:
+            row = self._row(assignment)
+            counts[row] = counts.get(row, 0) + 1
+        return counts
+
+    def accumulate_signed(self, batch: SignedBatch, into: dict[Row, int]) -> None:
+        """Fold a signed batch's head projections into ``into`` -- the
+        delta face of :meth:`counts`."""
+        for assignment, sign in batch:
+            row = self._row(assignment)
+            into[row] = into.get(row, 0) + sign
 
 
 Operator = FilterOp | FetchOp | ProbeOp | ProjectDedupOp
@@ -360,11 +671,18 @@ def merge_parameter_values(
     """Merge a parameter mapping and keyword arguments into one
     variable-keyed assignment (kwargs win on collision).  Shared by
     :meth:`Plan.execute`, the executor entry points and the Engine facade.
+
+    ``Constant``-wrapped values are unwrapped here, once: assignments hold
+    plain values everywhere downstream, so every comparison -- filter
+    equalities, fetched-row consistency checks, in-memory delta joins --
+    sees the same representation the database stores.
     """
     values: Assignment = {}
     for source in (parameters or {}), kwargs:
         for key, value in source.items():
-            values[_as_variable(key)] = value
+            values[_as_variable(key)] = (
+                value.value if isinstance(value, Constant) else value
+            )
     return values
 
 
@@ -398,8 +716,9 @@ def execute_plan(
     parameters: Mapping[object, object] | None = None,
     **kwargs: object,
 ) -> tuple[Row, ...]:
-    """Run ``plan`` on ``db`` through the batched operator pipeline and
-    return the deduplicated answer tuples.
+    """Run ``plan`` on ``db`` (a Database or an :class:`ExecutionContext`)
+    through the batched operator pipeline and return the deduplicated
+    answer tuples.
 
     Parameter values may be passed as a mapping (keys are variables or
     their names) and/or as keyword arguments.
@@ -407,10 +726,196 @@ def execute_plan(
     seed = _seed_assignment(plan, parameters, kwargs)
     if not plan.satisfiable:
         return ()
+    ctx = _as_context(db)
     batch: list = [seed]
     for op in pipeline_for(plan):
-        batch = op.run(db, batch)
+        batch = op.run(ctx, batch)
     return tuple(batch)
+
+
+def execute_plan_counting(
+    plan: Plan,
+    db,
+    parameters: Mapping[object, object] | None = None,
+    *,
+    profiles: list["OperatorProfile"] | None = None,
+    **kwargs: object,
+) -> dict[Row, int]:
+    """Like :func:`execute_plan`, but return ``{answer row: derivation
+    multiplicity}`` in first-derivation order instead of deduplicating.
+
+    The multiplicities are the materialized state incremental maintenance
+    needs: an answer row is in the result exactly while its count is
+    positive, and :func:`execute_plan_delta` produces the signed count
+    changes a batch of updates causes.  Pass ``profiles`` (a list) to
+    collect one :class:`OperatorProfile` per operator along the way.
+
+    Raises :class:`~repro.errors.IncrementalError` (eagerly, whatever the
+    data) for plans that fetch through an embedded access rule: their
+    per-assignment projection dedup makes the multiplicities
+    non-compositional, so the counts would be unusable as incremental
+    state.
+    """
+    check_delta_supported(plan)
+    seed = _seed_assignment(plan, parameters, kwargs)
+    if not plan.satisfiable:
+        return {}
+    ctx = _as_context(db)
+    ops = pipeline_for(plan)
+    batch: list = [seed]
+    for op in ops[:-1]:
+        if profiles is None:
+            batch = op.run(ctx, batch)
+            continue
+        before = ctx.stats.snapshot()
+        out = op.run(ctx, batch)
+        _profile(profiles, str(op), len(batch), len(out), ctx.stats.since(before))
+        batch = out
+    counts = ops[-1].counts(batch)
+    _profile(profiles, str(ops[-1]), len(batch), len(counts), AccessStats())
+    return counts
+
+
+def execute_plan_delta(
+    plan: Plan,
+    ctx: ExecutionContext,
+    parameters: Mapping[object, object] | None = None,
+    *,
+    profiles: list["OperatorProfile"] | None = None,
+    seed: Assignment | None = None,
+    **kwargs: object,
+) -> dict[Row, int]:
+    """Evaluate the standard delta rule for ``plan`` over ``ctx``'s change
+    slice: the signed derivation-count change of every affected answer row
+    (positive -- derivations gained, negative -- lost).
+
+    For each operator level ``i`` whose relation effectively changed,
+    levels before ``i`` run on the new state (shared across levels via one
+    incrementally extended prefix batch), level ``i`` joins the in-memory
+    slice (``run_delta``, zero tuples accessed), and levels after ``i``
+    run on the pre-delta snapshot (``run_old``) -- so every derivation
+    gained or lost is produced exactly once however many levels changed,
+    with one bulk database call per level.  Levels whose relation did not
+    change cost nothing beyond the prefix they already share; an empty
+    slice costs zero accesses.  Applying the result to the counts of
+    :func:`execute_plan_counting` reproduces a from-scratch run on the
+    new state.
+
+    Raises :class:`~repro.errors.IncrementalError` for plans that fetch
+    through an embedded access rule (no exact counting semantics) --
+    eagerly, whichever relations changed, so an unsupported plan can
+    never sometimes succeed depending on the slice.
+
+    ``seed`` is the refresh hot path's escape hatch: a pre-validated
+    parameter assignment (variable-keyed, e.g. kept from the initial
+    counting execution) that skips per-call validation.
+    """
+    check_delta_supported(plan)
+    if seed is None:
+        seed = _seed_assignment(plan, parameters, kwargs)
+    else:
+        seed = dict(seed)
+    changes: dict[Row, int] = {}
+    if not plan.satisfiable:
+        return changes
+    ops = pipeline_for(plan)
+    prefix: Batch = [seed]
+    for op in ops[:-1]:
+        if isinstance(op, FilterOp):
+            prefix = op.run(ctx, prefix)
+            _profile(profiles, op, 1, len(prefix), AccessStats())
+    if not prefix:
+        return changes
+    levels = [op for op in ops[:-1] if not isinstance(op, FilterOp)]
+    project = ops[-1]
+    relevant = {
+        i for i, level in enumerate(levels) if ctx.delta_rows(level.atom.relation)
+    }
+    if not relevant:
+        return changes
+    last = max(relevant)
+
+    def run_measured(op, label: str, batch, method):
+        """One operator application, profiled only when asked to be."""
+        if profiles is None:
+            return method(ctx, batch)
+        before = ctx.stats.snapshot()
+        out = method(ctx, batch)
+        _profile(profiles, f"{label} {op}", len(batch), len(out), ctx.stats.since(before))
+        return out
+
+    for i, level in enumerate(levels):
+        if i in relevant:
+            signed = run_measured(
+                level, f"Δ[{i + 1}]", [(a, 1) for a in prefix], level.run_delta
+            )
+            for j in range(i + 1, len(levels)):
+                if not signed:
+                    break
+                signed = run_measured(
+                    levels[j], f"old[{j + 1}]", signed, levels[j].run_old
+                )
+            project.accumulate_signed(signed, changes)
+        if i >= last:
+            break
+        prefix = run_measured(level, f"new[{i + 1}]", prefix, level.run)
+        if not prefix:
+            break
+    changes = {row: change for row, change in changes.items() if change}
+    _profile(profiles, project, len(changes), len(changes), AccessStats())
+    return changes
+
+
+def delta_fanout_bound(plan: Plan, delta_sizes: Mapping[str, int]) -> int:
+    """An upper bound on the tuples :func:`execute_plan_delta` can access
+    for ``plan`` given a change slice with ``delta_sizes`` net rows per
+    relation -- a function of the slice and the access-rule bounds only,
+    never of the database size (the incremental analogue of
+    :attr:`~repro.core.plans.Plan.fanout_bound`).
+
+    Per changed level: the prefix runs on the new state (its fetches are
+    bounded exactly as in the full plan), the slice join itself touches no
+    stored tuples, and the old-state suffix fans out from at most
+    ``prefix branches x slice rows`` seeds through the remaining rules'
+    bounds.  Relations absent from ``delta_sizes`` contribute nothing.
+    """
+    if not plan.satisfiable:
+        return 0
+    steps = plan.steps
+    total = 0
+    prefix_access = 0  # accesses to run the levels before i on the new state
+    branches = 1  # how many assignments the prefix can carry
+    for i, step in enumerate(steps):
+        changed = delta_sizes.get(step.atom.relation, 0)
+        if changed:
+            seeds = branches * changed
+            suffix = 0
+            for later in steps[i + 1 :]:
+                if isinstance(later, ProbeStep):
+                    suffix += seeds
+                else:
+                    suffix += seeds * later.rule.bound
+                    seeds *= later.rule.bound
+            total += prefix_access + suffix
+        if isinstance(step, ProbeStep):
+            prefix_access += branches
+        else:
+            prefix_access += branches * step.rule.bound
+            branches *= step.rule.bound
+    return total
+
+
+def check_delta_supported(plan: Plan) -> None:
+    """Raise :class:`~repro.errors.IncrementalError` unless every fetch of
+    ``plan`` goes through a plain or full access rule (embedded rules have
+    no exact counting semantics -- see :meth:`FetchOp.run_delta`)."""
+    for step in plan.steps:
+        if isinstance(step, FetchStep) and isinstance(step.rule, EmbeddedAccessRule):
+            raise IncrementalError(
+                f"plan step '{step}' fetches through an embedded access "
+                f"rule; incremental (delta) execution supports only plain "
+                f"and full access rules"
+            )
 
 
 @dataclass(frozen=True)
@@ -423,6 +928,29 @@ class OperatorProfile:
     tuples_accessed: int
     indexed_lookups: int
     full_scans: int
+
+
+def _profile(
+    profiles: list[OperatorProfile] | None,
+    operator: object,
+    rows_in: int,
+    rows_out: int,
+    delta: AccessStats,
+) -> None:
+    """Append one operator's measurements to ``profiles`` (when given);
+    ``operator`` is stringified only then, keeping the unprofiled hot
+    path free of rendering work."""
+    if profiles is not None:
+        profiles.append(
+            OperatorProfile(
+                str(operator),
+                rows_in,
+                rows_out,
+                delta.tuples_accessed,
+                delta.indexed_lookups,
+                delta.full_scans,
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -468,22 +996,13 @@ def profile_plan(
     seed = _seed_assignment(plan, parameters, kwargs)
     if not plan.satisfiable:
         return PlanProfile(plan, (), ())
+    ctx = _as_context(db)
     profiles: list[OperatorProfile] = []
     batch: list = [seed]
     for op in pipeline_for(plan):
-        before = db.stats.snapshot()
-        out = op.run(db, batch)
-        delta = db.stats.since(before)
-        profiles.append(
-            OperatorProfile(
-                str(op),
-                len(batch),
-                len(out),
-                delta.tuples_accessed,
-                delta.indexed_lookups,
-                delta.full_scans,
-            )
-        )
+        before = ctx.stats.snapshot()
+        out = op.run(ctx, batch)
+        _profile(profiles, str(op), len(batch), len(out), ctx.stats.since(before))
         batch = out
     return PlanProfile(plan, tuple(batch), tuple(profiles))
 
@@ -507,6 +1026,7 @@ def execute_per_tuple(
     seed = _seed_assignment(plan, parameters, kwargs)
     if not plan.satisfiable:
         return ()
+    ctx = _as_context(db)
     conditions, binds, _ = _parameter_constraints(plan)
     for a, b in conditions:
         if _term_value(a, seed) != _term_value(b, seed):
@@ -514,7 +1034,7 @@ def execute_per_tuple(
     for source, target in binds:
         seed[target] = seed[source]
     answers: dict[Row, None] = {}
-    for final in _run_per_tuple(plan, db, 0, seed):
+    for final in _run_per_tuple(plan, ctx, 0, seed):
         answers.setdefault(
             tuple(_term_value(t, final) for t in plan.head_terms), None
         )
@@ -522,7 +1042,7 @@ def execute_per_tuple(
 
 
 def _run_per_tuple(
-    plan: Plan, db, i: int, assignment: Assignment
+    plan: Plan, ctx: ExecutionContext, i: int, assignment: Assignment
 ) -> Iterator[Assignment]:
     if i == len(plan.steps):
         yield assignment
@@ -530,8 +1050,8 @@ def _run_per_tuple(
     step = plan.steps[i]
     if isinstance(step, ProbeStep):
         row = tuple(_term_value(t, assignment) for t in step.atom.terms)
-        if db.contains(step.atom.relation, row):
-            yield from _run_per_tuple(plan, db, i + 1, assignment)
+        if ctx.contains(step.atom.relation, row):
+            yield from _run_per_tuple(plan, ctx, i + 1, assignment)
         return
 
     atom = step.atom
@@ -544,7 +1064,7 @@ def _run_per_tuple(
             for p in step.input_positions
         }
         seen: set[Row] = set()
-        for row in db.lookup(atom.relation, pattern):
+        for row in ctx.lookup(atom.relation, pattern):
             if not row_matches(atom, row, assignment):
                 continue
             projection = tuple(row[p] for p in step.output_positions)
@@ -562,7 +1082,7 @@ def _run_per_tuple(
                     break
                 extended[term] = row[p]
             if consistent:
-                yield from _run_per_tuple(plan, db, i + 1, extended)
+                yield from _run_per_tuple(plan, ctx, i + 1, extended)
         return
 
     # Plain (or full) access rule: key the lookup on every position that
@@ -570,7 +1090,7 @@ def _run_per_tuple(
     # bound still applies and the lookup is at least as selective as the
     # access path guarantees.
     pattern = _bound_pattern(atom, assignment)
-    for row in db.lookup(atom.relation, pattern):
+    for row in ctx.lookup(atom.relation, pattern):
         extended = _extend(atom, row, assignment)
         if extended is not None:
-            yield from _run_per_tuple(plan, db, i + 1, extended)
+            yield from _run_per_tuple(plan, ctx, i + 1, extended)

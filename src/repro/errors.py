@@ -38,6 +38,13 @@ class ParseError(ReproError):
         super().__init__(message)
 
 
+class IncrementalError(ReproError):
+    """Incremental (delta-based) execution was requested for a plan shape
+    the delta pipeline does not support -- currently plans that fetch
+    through an embedded access rule, whose per-assignment projection
+    deduplication has no exact counting semantics."""
+
+
 class NotControlledError(ReproError):
     """A scale-independent plan was requested for a query that is not
     controlled by the given variables under the given access schema."""

@@ -13,18 +13,44 @@ The bulk forms exist for the batch-at-a-time executor
 (:mod:`repro.core.executor`): one call serves a whole batch of patterns,
 resolving each *distinct* key against the hash index (and accounting it)
 exactly once, however many patterns in the batch share it.
+
+Accounting is two-level.  :attr:`Database.stats` is the cumulative,
+engine-wide view: every read charges it, forever.  Each read method also
+accepts an optional ``stats`` argument -- an extra :class:`AccessStats`
+charged *in addition* -- which is how the executor's per-execution
+:class:`~repro.core.executor.ExecutionContext` isolates one execution's
+delta from concurrent traffic: the per-execution object is confined to
+its execution, so its counters are exact even when many executions share
+the database.  (The shared cumulative counters use plain unlocked
+increments; under heavy cross-thread traffic they are approximate.)
+
+Mutations go through :meth:`Database.insert_many` and
+:meth:`Database.delete_many` (with :meth:`add` / :meth:`delete` as
+single-tuple conveniences).  Both maintain every lazily built
+per-position hash index in place and append each *effective* change (an
+insert of a genuinely new tuple, a delete of a genuinely present one) to
+the database's monotonic :class:`ChangeLog` -- the substrate of
+incremental scale independence (:mod:`repro.incremental`, Section 5 of
+the paper): a refresh replays only the log suffix past its watermark.
+Mutations are single-writer: interleaving them with concurrent
+executions is undefined.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, UpdateError
 from repro.logic.terms import Constant
 from repro.relational.schema import DatabaseSchema
 
 Row = tuple[object, ...]
+
+#: The signed net effect of a log slice, per relation: ``+1`` for a tuple
+#: inserted since the watermark, ``-1`` for one deleted since it (tuples
+#: whose changes cancel out are dropped).
+NetDelta = dict[str, dict[Row, int]]
 
 
 @dataclass
@@ -52,6 +78,114 @@ class AccessStats:
         )
 
 
+@dataclass(frozen=True)
+class ChangeEntry:
+    """One effective mutation: transaction id, ``"+"``/``"-"``, relation,
+    tuple."""
+
+    tid: int
+    op: str  # "+" (insert) or "-" (delete)
+    relation: str
+    row: Row
+
+    def __str__(self) -> str:
+        return f"[{self.tid}] {self.op}{self.relation}{self.row!r}"
+
+
+class ChangeLog:
+    """A monotonic, append-only log of effective database mutations.
+
+    Transaction ids are dense and 0-based, so the :attr:`watermark` --
+    the id the *next* entry will get -- doubles as a position: the slice
+    ``entries_since(w)`` is exactly the changes a reader holding
+    watermark ``w`` has not yet seen.  The log never forgets; truncation
+    would invalidate outstanding watermarks.
+    """
+
+    __slots__ = ("_entries", "_net_cache", "_slice_caches")
+
+    def __init__(self) -> None:
+        self._entries: list[ChangeEntry] = []
+        # Memoized net_since slices keyed by (from, to): many incremental
+        # results refreshing off one log hit the identical slice, and the
+        # log is append-only so an entry can never go stale.
+        self._net_cache: dict[tuple[int, int], NetDelta] = {}
+        self._slice_caches: dict[tuple[int, int], tuple[dict, dict]] = {}
+
+    @property
+    def watermark(self) -> int:
+        """The id the next appended entry will receive."""
+        return len(self._entries)
+
+    def append(self, op: str, relation: str, row: Row) -> ChangeEntry:
+        if op not in ("+", "-"):
+            raise ValueError(f"change op must be '+' or '-', got {op!r}")
+        entry = ChangeEntry(len(self._entries), op, relation, row)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ChangeEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ChangeEntry:
+        return self._entries[index]
+
+    def __repr__(self) -> str:
+        return f"ChangeLog({len(self._entries)} entries)"
+
+    def entries_since(self, watermark: int) -> tuple[ChangeEntry, ...]:
+        """Every entry with ``tid >= watermark``, in log order."""
+        if watermark < 0:
+            raise ValueError(f"watermark must be >= 0, got {watermark}")
+        return tuple(self._entries[watermark:])
+
+    def net_since(self, watermark: int) -> NetDelta:
+        """The net signed delta of the slice past ``watermark``.
+
+        With set semantics every tuple nets to ``+1`` (absent then,
+        present now), ``-1`` (present then, absent now) or cancels out
+        entirely; cancelled tuples and unchanged relations are omitted,
+        so an empty mapping means "nothing effectively changed".
+        """
+        if watermark < 0:
+            raise ValueError(f"watermark must be >= 0, got {watermark}")
+        key = (watermark, len(self._entries))
+        cached = self._net_cache.get(key)
+        if cached is not None:
+            return cached
+        net: NetDelta = {}
+        for entry in self._entries[watermark:]:
+            rows = net.setdefault(entry.relation, {})
+            sign = rows.get(entry.row, 0) + (1 if entry.op == "+" else -1)
+            if sign:
+                rows[entry.row] = sign
+            else:
+                del rows[entry.row]
+        net = {relation: rows for relation, rows in net.items() if rows}
+        if len(self._net_cache) >= 8:
+            self._net_cache.clear()
+        self._net_cache[key] = net
+        return net
+
+    def slice_caches(self, watermark: int) -> tuple[dict, dict]:
+        """Shared derived-view memos (row tuples, per-position indexes) for
+        the slice from ``watermark`` to now, handed to the execution
+        context so every consumer refreshing off the identical slice
+        reuses one set of in-memory delta indexes.  Safe because the log
+        is append-only: a (from, to) pair names one immutable slice."""
+        key = (watermark, len(self._entries))
+        caches = self._slice_caches.get(key)
+        if caches is None:
+            if len(self._slice_caches) >= 8:
+                self._slice_caches.clear()
+            caches = ({}, {})
+            self._slice_caches[key] = caches
+        return caches
+
+
 def _plain(value: object) -> object:
     """Unwrap a :class:`Constant` into its underlying value."""
     return value.value if isinstance(value, Constant) else value
@@ -62,10 +196,11 @@ class Database:
 
     Tuples are stored with set semantics but preserve insertion order.
     Values must be hashable.  Hash indexes are created lazily per
-    ``(relation, positions)`` pair and maintained incrementally on insert.
+    ``(relation, positions)`` pair and maintained incrementally on insert
+    and delete; every mutation is recorded in :attr:`change_log`.
     """
 
-    __slots__ = ("schema", "stats", "_rows", "_indexes")
+    __slots__ = ("schema", "stats", "change_log", "_rows", "_indexes")
 
     def __init__(
         self,
@@ -74,14 +209,14 @@ class Database:
     ):
         self.schema = schema
         self.stats = AccessStats()
+        self.change_log = ChangeLog()
         self._rows: dict[str, dict[Row, None]] = {name: {} for name in schema.names}
         self._indexes: dict[str, dict[tuple[int, ...], dict[Row, list[Row]]]] = {
             name: {} for name in schema.names
         }
         if data:
             for name, rows in data.items():
-                for row in rows:
-                    self.add(name, row)
+                self.insert_many(name, rows)
 
     # -- updates ---------------------------------------------------------
 
@@ -90,41 +225,112 @@ class Database:
 
         Returns True if the tuple was new, False if it was already present.
         """
+        return self.insert_many(relation, (row,)) == 1
+
+    def delete(self, relation: str, row: Sequence[object]) -> bool:
+        """Delete ``row`` from ``relation``; True if it was present."""
+        return self.delete_many(relation, (row,)) == 1
+
+    def insert_many(
+        self, relation: str, rows: Iterable[Sequence[object]], *, strict: bool = False
+    ) -> int:
+        """Insert ``rows`` into ``relation``, maintaining every lazily
+        built index in place and logging each effective insert.
+
+        Already-present tuples are skipped (set semantics) -- unless
+        ``strict``, in which case they raise :class:`UpdateError`, the
+        paper's Section 5 well-formedness condition that insertions be
+        disjoint from the database.  Returns the number of tuples
+        actually inserted.
+        """
         rel = self.schema.relation(relation)
-        row = rel.validate_tuple(tuple(_plain(v) for v in row))
-        rows = self._rows[relation]
-        if row in rows:
-            return False
-        rows[row] = None
-        for positions, index in self._indexes[relation].items():
-            key = tuple(row[p] for p in positions)
-            index.setdefault(key, []).append(row)
-        return True
+        store = self._rows[relation]
+        indexes = self._indexes[relation]
+        applied = 0
+        for row in rows:
+            row = rel.validate_tuple(tuple(_plain(v) for v in row))
+            if row in store:
+                if strict:
+                    raise UpdateError(
+                        f"insert of {row!r} into {relation!r}: tuple is "
+                        f"already present"
+                    )
+                continue
+            store[row] = None
+            for positions, index in indexes.items():
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self.change_log.append("+", relation, row)
+            applied += 1
+        return applied
+
+    def delete_many(
+        self, relation: str, rows: Iterable[Sequence[object]], *, strict: bool = False
+    ) -> int:
+        """Delete ``rows`` from ``relation``, maintaining every lazily
+        built index in place and logging each effective delete.
+
+        Absent tuples are skipped -- unless ``strict``, in which case they
+        raise :class:`UpdateError`, the Section 5 well-formedness
+        condition that deletions be contained in the database.  Returns
+        the number of tuples actually deleted.
+        """
+        rel = self.schema.relation(relation)
+        store = self._rows[relation]
+        indexes = self._indexes[relation]
+        applied = 0
+        for row in rows:
+            row = rel.validate_tuple(tuple(_plain(v) for v in row))
+            if row not in store:
+                if strict:
+                    raise UpdateError(
+                        f"delete of {row!r} from {relation!r}: tuple is "
+                        f"not present"
+                    )
+                continue
+            del store[row]
+            for positions, index in indexes.items():
+                key = tuple(row[p] for p in positions)
+                group = index[key]
+                group.remove(row)
+                if not group:
+                    del index[key]
+            self.change_log.append("-", relation, row)
+            applied += 1
+        return applied
 
     # -- reads (accounted) -----------------------------------------------
 
-    def lookup(self, relation: str, pattern: Mapping[int, object]) -> tuple[Row, ...]:
+    def lookup(
+        self,
+        relation: str,
+        pattern: Mapping[int, object],
+        stats: AccessStats | None = None,
+    ) -> tuple[Row, ...]:
         """All tuples of ``relation`` matching ``pattern`` (a mapping from
         0-based positions to required values).
 
         An empty pattern degenerates to a full scan; otherwise the lookup
         goes through a hash index on the pattern's positions.  Accessed
-        tuples are counted in :attr:`stats`.
+        tuples are counted in :attr:`stats` (and in ``stats``, when
+        given -- the per-execution accounting hook).
         """
         if not pattern:
-            return self.scan(relation)
+            return self.scan(relation, stats)
         rel = self.schema.relation(relation)
         positions = tuple(sorted(pattern))
         self._check_positions(relation, rel.arity, positions)
         index = self._index_for(relation, positions)
         key = tuple(_plain(pattern[p]) for p in positions)
         rows = index.get(key, ())
-        self.stats.indexed_lookups += 1
-        self.stats.tuples_accessed += len(rows)
+        self._charge(stats, tuples=len(rows), lookups=1)
         return tuple(rows)
 
     def lookup_many(
-        self, relation: str, patterns: Sequence[Mapping[int, object]]
+        self,
+        relation: str,
+        patterns: Sequence[Mapping[int, object]],
+        stats: AccessStats | None = None,
     ) -> tuple[tuple[Row, ...], ...]:
         """Bulk :meth:`lookup`: one result group per pattern, aligned with
         ``patterns``.
@@ -140,7 +346,8 @@ class Database:
         if not patterns:
             return ()
         rel = self.schema.relation(relation)
-        stats = self.stats
+        tuples = 0
+        lookups = 0
         groups: list[tuple[Row, ...]] = []
         fetched: dict[tuple[tuple[int, ...], Row], tuple[Row, ...]] = {}
         scanned: tuple[Row, ...] | None = None
@@ -153,7 +360,7 @@ class Database:
         for pattern in patterns:
             if not pattern:
                 if scanned is None:
-                    scanned = self.scan(relation)
+                    scanned = self.scan(relation, stats)
                 groups.append(scanned)
                 continue
             keys = pattern.keys()
@@ -166,51 +373,60 @@ class Database:
             rows = fetched.get((positions, key))
             if rows is None:
                 rows = tuple(index.get(key, ()))
-                stats.indexed_lookups += 1
-                stats.tuples_accessed += len(rows)
+                lookups += 1
+                tuples += len(rows)
                 fetched[positions, key] = rows
             groups.append(rows)
+        self._charge(stats, tuples=tuples, lookups=lookups)
         return tuple(groups)
 
-    def scan(self, relation: str) -> tuple[Row, ...]:
+    def scan(self, relation: str, stats: AccessStats | None = None) -> tuple[Row, ...]:
         """All tuples of ``relation`` -- a full scan, counted as such."""
         self.schema.relation(relation)
         rows = tuple(self._rows[relation])
-        self.stats.full_scans += 1
-        self.stats.tuples_accessed += len(rows)
+        self._charge(stats, tuples=len(rows), scans=1)
         return rows
 
-    def contains(self, relation: str, row: Sequence[object]) -> bool:
+    def contains(
+        self,
+        relation: str,
+        row: Sequence[object],
+        stats: AccessStats | None = None,
+    ) -> bool:
         """Membership probe via the all-positions hash index (accesses at
         most one tuple)."""
         rel = self.schema.relation(relation)
         row = rel.validate_tuple(tuple(_plain(v) for v in row))
-        self.stats.indexed_lookups += 1
         present = row in self._rows[relation]
-        if present:
-            self.stats.tuples_accessed += 1
+        self._charge(stats, tuples=1 if present else 0, lookups=1)
         return present
 
     def contains_many(
-        self, relation: str, rows: Sequence[Sequence[object]]
+        self,
+        relation: str,
+        rows: Sequence[Sequence[object]],
+        stats: AccessStats | None = None,
     ) -> tuple[bool, ...]:
         """Bulk :meth:`contains`: one verdict per row, aligned with
         ``rows``.  Each *distinct* row is probed (and accounted) once,
         however often it recurs in the batch."""
         rel = self.schema.relation(relation)
         store = self._rows[relation]
+        tuples = 0
+        lookups = 0
         verdicts: list[bool] = []
         probed: dict[Row, bool] = {}
         for row in rows:
             row = rel.validate_tuple(tuple(_plain(v) for v in row))
             present = probed.get(row)
             if present is None:
-                self.stats.indexed_lookups += 1
+                lookups += 1
                 present = row in store
                 if present:
-                    self.stats.tuples_accessed += 1
+                    tuples += 1
                 probed[row] = present
             verdicts.append(present)
+        self._charge(stats, tuples=tuples, lookups=lookups)
         return tuple(verdicts)
 
     # -- unaccounted metadata --------------------------------------------
@@ -239,10 +455,23 @@ class Database:
 
     # -- internals -------------------------------------------------------
 
-    @staticmethod
-    def _check_positions(
-        relation: str, arity: int, positions: tuple[int, ...]
+    def _charge(
+        self,
+        extra: AccessStats | None,
+        *,
+        tuples: int = 0,
+        lookups: int = 0,
+        scans: int = 0,
     ) -> None:
+        """Record one read's counters in the cumulative stats and, when
+        given, the caller's per-execution stats."""
+        for stats in (self.stats,) if extra is None else (self.stats, extra):
+            stats.tuples_accessed += tuples
+            stats.indexed_lookups += lookups
+            stats.full_scans += scans
+
+    @staticmethod
+    def _check_positions(relation: str, arity: int, positions: tuple[int, ...]) -> None:
         for p in positions:
             if not 0 <= p < arity:
                 raise SchemaError(

@@ -8,11 +8,16 @@ ready-made :class:`QueryBundle` objects -- each a ``(schema, access,
 query)`` triple that builds a ready-to-run
 :class:`~repro.api.engine.Engine` in one call.
 
+:mod:`repro.workloads.churn` adds the *change* dimension: seeded streams
+of mixed edge inserts/deletes (:class:`ChurnBatch`) that keep the degree
+caps honored, the traffic :mod:`repro.incremental` refreshes against.
+
 :mod:`repro.bench` drives these workloads at increasing database sizes to
 demonstrate the paper's central claim: tuples accessed stay flat while the
-database grows.
+database grows -- and, under churn, that refreshing beats recomputing.
 """
 
+from repro.workloads.churn import CHURN_RELATIONS, ChurnBatch, generate_churn
 from repro.workloads.social import (
     CITIES,
     DEFAULT_MAX_FRIENDS,
@@ -45,4 +50,7 @@ __all__ = [
     "generate_social_network",
     "social_engine",
     "sample_pids",
+    "ChurnBatch",
+    "CHURN_RELATIONS",
+    "generate_churn",
 ]

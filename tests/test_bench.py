@@ -108,3 +108,36 @@ def test_cli_runs_and_prints_table(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "speedup" in printed
     assert "Q3" in printed
+
+
+def test_churn_records_cover_all_queries_and_sizes(bench_doc):
+    doc, _ = bench_doc
+    churn = doc["churn"]
+    assert churn["batches"] == 4
+    assert churn["batch_size"] == 16
+    keys = {(r["query"], r["size"]) for r in churn["records"]}
+    assert keys == {(q, s) for q in ("Q1", "Q2", "Q3") for s in (20, 80)}
+
+
+def test_churn_refreshes_stay_within_delta_bound_without_scans(bench_doc):
+    doc, _ = bench_doc
+    for record in doc["churn"]["records"]:
+        assert record["refresh_tuples_max"] <= record["delta_bound_max"]
+        assert record["full_scans"] == 0
+        assert record["refreshes"] == record["batches"] * 3  # params_per_size
+    for entry in doc["summary"].values():
+        assert entry["refresh_within_delta_bound"] is True
+
+
+def test_churn_summary_reports_refresh_speedup(bench_doc):
+    doc, _ = bench_doc
+    for name in ("Q1", "Q2", "Q3"):
+        assert "refresh_speedup_at_largest" in doc["summary"][name]
+
+
+def test_churn_can_be_disabled():
+    doc = run_bench(
+        sizes=(20,), repeats=1, params_per_size=2, churn_batches=0, output=False
+    )
+    assert doc["churn"]["records"] == []
+    assert "refresh_speedup_at_largest" not in doc["summary"]["Q1"]

@@ -463,3 +463,89 @@ def test_stale_plans_cached_in_flight_are_never_served_after_access_change(engin
     engine.access = "friend(pid1 -> 7); friend(pid2 -> 7); person(pid -> 1)"
     engine._cache.put((old_version, q.query, params), stale_plans)
     assert q.execute(p=1).fanout_bound == 7 + 7 * 1  # not the stale 5005
+
+
+class TestPerExecutionStatsIsolation:
+    """ResultSet.stats are charged through a per-execution
+    ExecutionContext: concurrent executes against one engine must never
+    contaminate each other's deltas, while Database.stats stays the
+    cumulative engine-wide view."""
+
+    def test_concurrent_executes_see_their_own_deltas(self):
+        import threading
+
+        from repro.workloads import social_engine
+
+        engine = social_engine(300, seed=5)
+        q1 = engine.query("Q(y) :- friend(p, y), person(y, n, 'NYC')")
+        q3 = engine.query(
+            "Q(z) :- friend(p, y), friend(y, z), person(z, n, 'NYC')"
+        )
+        # Solo baselines: each (query, pid)'s exact access counts.
+        jobs = [(q1, pid) for pid in range(40)] + [(q3, pid) for pid in range(40)]
+        expected = {}
+        for i, (query, pid) in enumerate(jobs):
+            result = query.execute(p=pid)
+            expected[i] = (
+                result.stats.tuples_accessed,
+                result.stats.indexed_lookups,
+                set(result.rows),
+            )
+
+        observed: dict[int, tuple] = {}
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(worker_id: int):
+            try:
+                barrier.wait()
+                for i in range(worker_id, len(jobs), 8):
+                    query, pid = jobs[i]
+                    result = query.execute(p=pid)
+                    observed[i, worker_id] = (
+                        i,
+                        result.stats.tuples_accessed,
+                        result.stats.indexed_lookups,
+                        set(result.rows),
+                    )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(observed) == len(jobs)
+        for i, tuples, lookups, rows in observed.values():
+            assert (tuples, lookups, rows) == expected[i], f"job {i} contaminated"
+
+    def test_database_stats_stay_cumulative(self):
+        from repro.workloads import social_engine
+
+        engine = social_engine(50, seed=0)
+        db = engine.require_database()
+        db.reset_stats()
+        first = engine.execute("Q(y) :- friend(p, y)", p=1)
+        second = engine.execute("Q(y) :- friend(p, y)", p=2)
+        assert (
+            db.stats.tuples_accessed
+            == first.stats.tuples_accessed + second.stats.tuples_accessed
+        )
+
+    def test_explain_analyze_stats_are_per_execution(self):
+        from repro.workloads import social_engine
+
+        engine = social_engine(50, seed=0)
+        analyzed = engine.explain_analyze("Q(y) :- friend(p, y)", p=1)
+        again = engine.explain_analyze("Q(y) :- friend(p, y)", p=1)
+        assert (
+            analyzed.result.stats.tuples_accessed
+            == again.result.stats.tuples_accessed
+        )
+        assert analyzed.result.stats.tuples_accessed == sum(
+            op.tuples_accessed
+            for profile in analyzed.profiles
+            for op in profile.operators
+        )

@@ -262,3 +262,117 @@ class TestProfile:
         profile = profile_plan(plan, social_db, p=1)
         for prev, nxt in zip(profile.operators, profile.operators[1:]):
             assert nxt.rows_in == prev.rows_out
+
+
+class TestExecutionContext:
+    """The per-execution context: double-entry accounting and the old-state
+    (pre-delta) read adjustments the delta pipeline runs on."""
+
+    def _ctx(self, social_db, delta=None):
+        from repro.core.executor import ExecutionContext
+
+        return ExecutionContext(social_db, delta=delta)
+
+    def test_reads_charge_context_and_database(self, social_db):
+        social_db.reset_stats()
+        ctx = self._ctx(social_db)
+        ctx.lookup_many("friend", [{0: 1}])
+        ctx.contains("friend", (1, 2))
+        assert ctx.stats.tuples_accessed == social_db.stats.tuples_accessed == 3
+        assert ctx.stats.indexed_lookups == social_db.stats.indexed_lookups == 2
+
+    def test_two_contexts_do_not_share_stats(self, social_db):
+        a, b = self._ctx(social_db), self._ctx(social_db)
+        a.lookup("friend", {0: 1})
+        assert b.stats.tuples_accessed == 0
+        assert a.stats.tuples_accessed == 2
+
+    def test_watermark_defaults_to_the_log(self, social_db):
+        assert self._ctx(social_db).watermark == social_db.change_log.watermark
+
+    def test_lookup_many_old_drops_inserts_and_restores_deletes(self, social_db):
+        mark = social_db.change_log.watermark
+        social_db.insert_many("friend", [(1, 9)])
+        social_db.delete_many("friend", [(1, 2)])
+        delta = social_db.change_log.net_since(mark)
+        ctx = self._ctx(social_db, delta=delta)
+        (old,) = ctx.lookup_many_old("friend", [{0: 1}])
+        assert set(old) == {(1, 3), (1, 2)}  # no (1, 9); (1, 2) restored
+        (new,) = ctx.lookup_many("friend", [{0: 1}])
+        assert set(new) == {(1, 3), (1, 9)}
+
+    def test_contains_many_old_answers_from_the_slice(self, social_db):
+        mark = social_db.change_log.watermark
+        social_db.insert_many("friend", [(1, 9)])
+        social_db.delete_many("friend", [(1, 2)])
+        delta = social_db.change_log.net_since(mark)
+        ctx = self._ctx(social_db, delta=delta)
+        social_db.reset_stats()
+        verdicts = ctx.contains_many_old("friend", [(1, 9), (1, 2), (2, 4), (7, 7)])
+        assert verdicts == (False, True, True, False)
+        # Only the two slice-unknown rows were probed.
+        assert ctx.stats.indexed_lookups == 2
+
+    def test_delta_index_groups_by_positions(self, social_db):
+        delta = {"friend": {(1, 9): 1, (1, 8): -1, (2, 9): 1}}
+        ctx = self._ctx(social_db, delta=delta)
+        index = ctx.delta_index("friend", (0,))
+        assert set(index) == {(1,), (2,)}
+        assert set(index[(1,)]) == {((1, 9), 1), ((1, 8), -1)}
+        assert ctx.delta_index("friend", (0,)) is index  # memoized
+
+    def test_empty_slice_reads_pass_through(self, social_db):
+        ctx = self._ctx(social_db)
+        assert ctx.lookup_many_old("friend", [{0: 1}]) == ctx.lookup_many(
+            "friend", [{0: 1}]
+        )
+        assert ctx.delta_net("friend") == {}
+        assert ctx.delta_rows("friend") == ()
+        assert "ExecutionContext" in repr(ctx)
+
+
+class TestDeltaOperatorFaces:
+    def test_keyless_fetch_run_delta_joins_every_row(self, social_db):
+        from repro import AccessRule, AccessSchema, ConjunctiveQuery
+        from repro.core.executor import ExecutionContext, FetchOp, pipeline_for
+
+        q = ConjunctiveQuery(["x", "y"], [Atom("friend", ["?x", "?y"])])
+        access = AccessSchema(social_db.schema, [AccessRule("friend", [], bound=100)])
+        plan = compile_plan(q, access)
+        fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
+        assert fetch.key_positions == ()
+        ctx = ExecutionContext(social_db, delta={"friend": {(8, 9): 1, (1, 2): -1}})
+        signed = fetch.run_delta(ctx, [({}, 1)])
+        x, y = fetch.atom.terms
+        assert {((a[x], a[y]), s) for a, s in signed} == {((8, 9), 1), ((1, 2), -1)}
+
+    def test_embedded_fetch_delta_faces_raise(self, social_schema, social_db):
+        from repro import IncrementalError
+        from repro.core.executor import ExecutionContext, FetchOp, pipeline_for
+
+        access = AccessSchema(
+            social_schema,
+            [
+                EmbeddedAccessRule("friend", ["pid1"], ["pid2"], bound=100),
+                AccessRule("person", ["pid"], bound=1),
+            ],
+        )
+        plan = compile_plan(Q1, access, ["p"])
+        fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
+        ctx = ExecutionContext(social_db, delta={"friend": {(1, 9): 1}})
+        with pytest.raises(IncrementalError):
+            fetch.run_delta(ctx, [({}, 1)])
+        with pytest.raises(IncrementalError):
+            fetch.run_old(ctx, [({}, 1)])
+
+    def test_probe_run_delta_multiplies_signs(self, social_db, social_access):
+        from repro.core.executor import ExecutionContext, ProbeOp
+        from repro.logic.terms import Variable
+
+        probe = ProbeOp(Atom("friend", ["?a", "?b"]))
+        a, b = Variable("a"), Variable("b")
+        ctx = ExecutionContext(social_db, delta={"friend": {(1, 9): 1, (2, 8): -1}})
+        signed = probe.run_delta(
+            ctx, [({a: 1, b: 9}, -1), ({a: 2, b: 8}, 1), ({a: 1, b: 2}, 1)]
+        )
+        assert signed == [({a: 1, b: 9}, -1), ({a: 2, b: 8}, -1)]

@@ -13,6 +13,7 @@ EXPECTED_EXPORTS = {
     "NotControlledError",
     "RewritingError",
     "ParseError",
+    "IncrementalError",
     # terms and formulas
     "Variable",
     "Constant",
@@ -36,6 +37,8 @@ EXPECTED_EXPORTS = {
     "parse_schema",
     "Database",
     "AccessStats",
+    "ChangeEntry",
+    "ChangeLog",
     # access schemas
     "AccessRule",
     "EmbeddedAccessRule",
@@ -53,6 +56,7 @@ EXPECTED_EXPORTS = {
     "ProbeStep",
     "compile_plan",
     # the physical executor
+    "ExecutionContext",
     "FetchOp",
     "ProbeOp",
     "FilterOp",
@@ -62,6 +66,11 @@ EXPECTED_EXPORTS = {
     "build_pipeline",
     "execute_plan",
     "profile_plan",
+    # incremental execution
+    "IncrementalResult",
+    "execute_plan_counting",
+    "execute_plan_delta",
+    "delta_fanout_bound",
     # deciders
     "QDSIResult",
     "decide_qdsi",
@@ -124,7 +133,9 @@ def test_subpackages_import():
         "repro.api",
         "repro.api.cache",
         "repro.api.engine",
+        "repro.incremental",
         "repro.workloads",
+        "repro.workloads.churn",
         "repro.bench",
     ):
         importlib.import_module(mod)

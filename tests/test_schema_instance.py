@@ -110,3 +110,125 @@ class TestValidateQueryShapes:
         social_schema.validate_query(Exists("x", Atom("friend", ["?x", "?y"])))
         with pytest.raises(SchemaError):
             social_schema.validate_query(Exists("x", Atom("friend", ["?x"])))
+
+
+class TestMutations:
+    """insert_many / delete_many: index maintenance, set semantics, strict
+    Section 5 well-formedness, and the change log they feed."""
+
+    def test_insert_many_skips_duplicates_and_counts_effective(self, social_db):
+        inserted = social_db.insert_many("friend", [(1, 2), (9, 9), (9, 9)])
+        assert inserted == 1
+        assert social_db.contains("friend", (9, 9))
+
+    def test_delete_many_skips_absent_and_counts_effective(self, social_db):
+        deleted = social_db.delete_many("friend", [(1, 2), (7, 7)])
+        assert deleted == 1
+        assert not social_db.contains("friend", (1, 2))
+
+    def test_strict_insert_of_present_tuple_raises(self, social_db):
+        from repro import UpdateError
+
+        with pytest.raises(UpdateError, match="already present"):
+            social_db.insert_many("friend", [(1, 2)], strict=True)
+
+    def test_strict_delete_of_absent_tuple_raises(self, social_db):
+        from repro import UpdateError
+
+        with pytest.raises(UpdateError, match="not present"):
+            social_db.delete_many("friend", [(7, 7)], strict=True)
+
+    def test_mutations_validate_against_schema(self, social_db):
+        with pytest.raises(SchemaError):
+            social_db.insert_many("friend", [(1, 2, 3)])
+        with pytest.raises(SchemaError):
+            social_db.delete_many("nope", [(1,)])
+
+    def test_lazy_indexes_are_maintained_across_mutations(self, social_db):
+        """Regression: query (building the index), mutate, re-query -- the
+        lazily built per-position index must see the mutation."""
+        assert social_db.lookup("friend", {0: 1}) == ((1, 2), (1, 3))
+        social_db.insert_many("friend", [(1, 4)])
+        social_db.delete_many("friend", [(1, 2)])
+        assert social_db.lookup("friend", {0: 1}) == ((1, 3), (1, 4))
+        # A second index on another position set, built after the fact,
+        # agrees too.
+        assert social_db.lookup("friend", {1: 4}) == ((2, 4), (3, 4), (1, 4))
+        social_db.delete_many("friend", [(3, 4)])
+        assert social_db.lookup("friend", {1: 4}) == ((2, 4), (1, 4))
+
+    def test_delete_drops_empty_index_groups(self, social_db):
+        social_db.lookup("friend", {0: 5})  # build the index
+        social_db.delete_many("friend", [(5, 1)])
+        assert social_db.lookup("friend", {0: 5}) == ()
+
+    def test_delete_single_convenience(self, social_db):
+        assert social_db.delete("friend", (1, 2)) is True
+        assert social_db.delete("friend", (1, 2)) is False
+
+    def test_constants_are_unwrapped_like_add(self, social_db):
+        from repro import Constant
+
+        social_db.insert_many("friend", [(Constant(8), Constant(9))])
+        assert social_db.contains("friend", (8, 9))
+        social_db.delete_many("friend", [(Constant(8), Constant(9))])
+        assert not social_db.contains("friend", (8, 9))
+
+
+class TestChangeLog:
+    def test_every_effective_mutation_is_logged_in_order(self, social_schema):
+        db = Database(social_schema)
+        base = db.change_log.watermark
+        db.insert_many("friend", [(1, 2), (1, 2), (3, 4)])
+        db.delete_many("friend", [(3, 4), (9, 9)])
+        entries = db.change_log.entries_since(base)
+        assert [(e.op, e.relation, e.row) for e in entries] == [
+            ("+", "friend", (1, 2)),
+            ("+", "friend", (3, 4)),
+            ("-", "friend", (3, 4)),
+        ]
+        assert [e.tid for e in entries] == [base, base + 1, base + 2]
+
+    def test_initial_load_is_logged(self, social_db):
+        assert social_db.size() == social_db.change_log.watermark
+
+    def test_net_since_cancels_out(self, social_schema):
+        db = Database(social_schema)
+        mark = db.change_log.watermark
+        db.insert_many("friend", [(1, 2), (3, 4)])
+        db.delete_many("friend", [(1, 2)])
+        db.insert_many("friend", [(5, 6)])
+        db.delete_many("friend", [(5, 6)])
+        net = db.change_log.net_since(mark)
+        assert net == {"friend": {(3, 4): 1}}
+
+    def test_net_since_delete_then_reinsert_cancels(self, social_db):
+        mark = social_db.change_log.watermark
+        social_db.delete_many("friend", [(1, 2)])
+        social_db.insert_many("friend", [(1, 2)])
+        assert social_db.change_log.net_since(mark) == {}
+
+    def test_net_since_signs(self, social_db):
+        mark = social_db.change_log.watermark
+        social_db.insert_many("friend", [(7, 8)])
+        social_db.delete_many("friend", [(1, 2)])
+        net = social_db.change_log.net_since(mark)
+        assert net == {"friend": {(7, 8): 1, (1, 2): -1}}
+
+    def test_watermark_and_sequence_protocol(self, social_schema):
+        db = Database(social_schema)
+        assert db.change_log.watermark == len(db.change_log) == 0
+        db.add("friend", (1, 2))
+        assert db.change_log.watermark == 1
+        assert db.change_log[0].op == "+"
+        assert list(db.change_log)[0].relation == "friend"
+        assert "1 entries" in repr(db.change_log)
+
+    def test_bad_watermark_and_op_rejected(self, social_schema):
+        db = Database(social_schema)
+        with pytest.raises(ValueError):
+            db.change_log.net_since(-1)
+        with pytest.raises(ValueError):
+            db.change_log.entries_since(-1)
+        with pytest.raises(ValueError):
+            db.change_log.append("x", "friend", (1, 2))

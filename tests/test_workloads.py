@@ -99,3 +99,108 @@ def test_sample_pids_in_range_and_deterministic():
     assert pids == sample_pids(50, 10, seed=1)
     assert len(pids) == 10
     assert all(0 <= pid < 50 for pid in pids)
+
+
+class TestChurn:
+    """The seeded churn stream: deterministic, cap-honoring, cleanly
+    applicable in bulk."""
+
+    def _stream(self, persons=60, seed=3, **kwargs):
+        from repro.workloads import generate_churn, generate_social_network
+
+        data = generate_social_network(persons, seed=seed)
+        return data, generate_churn(data, batches=5, batch_size=12, seed=seed, **kwargs)
+
+    def test_deterministic_for_same_seed(self):
+        _, first = self._stream()
+        _, second = self._stream()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        from repro.workloads import generate_churn, generate_social_network
+
+        data = generate_social_network(60, seed=3)
+        a = generate_churn(data, batches=5, batch_size=12, seed=1)
+        b = generate_churn(data, batches=5, batch_size=12, seed=2)
+        assert a != b
+
+    def test_batches_have_the_requested_size(self):
+        _, stream = self._stream()
+        assert len(stream) == 5
+        assert all(batch.size == 12 for batch in stream)
+
+    def test_strict_apply_passes_and_degree_caps_hold(self):
+        from repro.workloads import (
+            DEFAULT_MAX_FRIENDS,
+            DEFAULT_MAX_VISITS,
+            social_engine,
+        )
+
+        engine = social_engine(60, seed=3)
+        db = engine.require_database()
+        _, stream = self._stream()
+        for batch in stream:
+            deleted, inserted = batch.apply(db, strict=True)
+            assert deleted + inserted == batch.size
+            for relation, cap in (
+                ("friend", DEFAULT_MAX_FRIENDS),
+                ("visits", DEFAULT_MAX_VISITS),
+            ):
+                degrees: dict[object, int] = {}
+                for source, _target in db.scan(relation):
+                    degrees[source] = degrees.get(source, 0) + 1
+                assert all(n <= cap for n in degrees.values()), relation
+
+    def test_no_tuple_both_inserted_and_deleted_in_one_batch(self):
+        _, stream = self._stream()
+        for batch in stream:
+            for relation, deleted in batch.deletes.items():
+                inserted = set(batch.inserts.get(relation, ()))
+                assert not inserted & set(deleted)
+
+    def test_delete_only_stream(self):
+        _, stream = self._stream(delete_fraction=1.0)
+        assert all(not batch.inserts for batch in stream)
+        assert any(batch.deletes for batch in stream)
+
+    def test_insert_only_stream(self):
+        _, stream = self._stream(delete_fraction=0.0)
+        assert all(not batch.deletes for batch in stream)
+
+    def test_churn_only_touches_edge_relations(self):
+        from repro.workloads import CHURN_RELATIONS
+
+        _, stream = self._stream()
+        for batch in stream:
+            touched = set(batch.deletes) | set(batch.inserts)
+            assert touched <= set(CHURN_RELATIONS)
+
+    def test_rejects_bad_arguments(self):
+        import pytest
+        from repro.workloads import generate_churn, generate_social_network
+
+        data = generate_social_network(10, seed=0)
+        with pytest.raises(ValueError):
+            generate_churn(data, batches=-1, batch_size=5)
+        with pytest.raises(ValueError):
+            generate_churn(data, batches=1, batch_size=0)
+        with pytest.raises(ValueError):
+            generate_churn(data, batches=1, batch_size=5, delete_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_churn({"person": []}, batches=1, batch_size=5)
+
+    def test_batch_renders(self):
+        _, stream = self._stream()
+        assert str(stream[0]).startswith("churn(")
+
+
+def test_churn_disjointness_holds_across_many_seeds():
+    """The documented invariant -- a batch never both deletes and inserts
+    one tuple -- must hold for arbitrary seeds, not just the fixture's."""
+    from repro.workloads import generate_churn, generate_social_network
+
+    for seed in range(30):
+        data = generate_social_network(40, seed=seed)
+        for batch in generate_churn(data, batches=4, batch_size=14, seed=seed):
+            for relation, deleted in batch.deletes.items():
+                assert not set(deleted) & set(batch.inserts.get(relation, ()))
