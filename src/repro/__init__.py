@@ -22,17 +22,22 @@ The package is organised as follows:
   re-answers a query after updates via ``refresh()`` -- the standard
   delta rule over the log slice, with access bounded by the slice and the
   rule bounds, never the database size.
+* :mod:`repro.views` -- scale independence *using views* (Section 6):
+  named materialized views (``engine.views.register``) with their own
+  bounded access rules, kept fresh incrementally from the change log,
+  and a homomorphism-based rewriting step that makes queries executable
+  -- with boundedly many base accesses -- that no base access plan can
+  control (e.g. inverted edge lookups through the workload views V1/V2).
 * :mod:`repro.workloads` -- seeded synthetic workloads: the paper's
   social-network example with configurable size and degree skew, the
-  running queries Q1/Q2/Q3 as ready-made bundles, and seeded churn
-  streams (insert/delete batches honoring the degree caps).
+  running queries Q1/Q2/Q3 (and the view-unlocked Q4/Q5) as ready-made
+  bundles, the workload views V1/V2, and seeded churn streams
+  (insert/delete batches honoring the degree caps).
 * :mod:`repro.bench` -- the experiment harness (also ``python -m
   repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
-  fanout bound, refresh-vs-recompute under churn, and plan-cache hit
-  rates, written to ``BENCH_<n>.json``.
-
-Planned (tracked in ROADMAP.md, not yet implemented): ``repro.views``
-(scale independence using views, Section 6).
+  fanout bound, refresh-vs-recompute under churn, view-assisted vs
+  base-only execution and view refresh-vs-rematerialize, and plan-cache
+  hit rates, written to ``BENCH_<n>.json``.
 
 The most frequently used names are re-exported here for convenience.
 """
@@ -77,6 +82,8 @@ from repro.core.executor import (
     PlanProfile,
     ProbeOp,
     ProjectDedupOp,
+    ViewProbeOp,
+    ViewScanOp,
     build_pipeline,
     delta_fanout_bound,
     execute_plan,
@@ -87,6 +94,7 @@ from repro.core.executor import (
 from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
+from repro.views import ViewDef, ViewSet, ViewState
 from repro.api import CacheStats, Engine, ExplainAnalyze, PreparedQuery, ResultSet
 from repro.incremental import IncrementalResult
 
@@ -157,6 +165,12 @@ __all__ = [
     "execute_plan_counting",
     "execute_plan_delta",
     "delta_fanout_bound",
+    # materialized views (Section 6)
+    "ViewDef",
+    "ViewSet",
+    "ViewState",
+    "ViewScanOp",
+    "ViewProbeOp",
     # deciders
     "QDSIResult",
     "decide_qdsi",
@@ -170,4 +184,4 @@ __all__ = [
     "CacheStats",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"

@@ -16,6 +16,15 @@ consistent under concurrent executes against one
 deltas are isolated separately: each execution charges its own
 :class:`~repro.core.executor.ExecutionContext` stats, so concurrent
 ``ResultSet.stats`` never contaminate each other.)
+
+Compilation itself is *single-flight* (:meth:`PlanCache.get_or_compute`):
+when N threads cold-start the same ``(query, parameter set)``
+concurrently, exactly one of them runs the compile -- the controllability
+fixpoint is pure CPU work that would otherwise burn N times over -- and
+the rest wait on a per-key in-flight marker and are served the leader's
+plans (counted as hits).  A leader that fails propagates its exception to
+every waiter of that flight; the key is cleared, so a later probe retries
+the compile from scratch.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Callable, Hashable
 
 
 @dataclass(frozen=True)
@@ -39,13 +48,27 @@ class CacheStats:
 
     @property
     def compilations(self) -> int:
-        """Plans are compiled exactly on cache misses."""
+        """Plans are compiled exactly on cache misses (waiters served by a
+        single-flight leader count as hits, not misses)."""
         return self.misses
+
+
+class _InFlight:
+    """The per-key marker of one in-progress compilation: waiters block on
+    :attr:`done`; the leader publishes either :attr:`value` or
+    :attr:`error` before setting it."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
 
 
 class PlanCache:
     """A small thread-safe LRU mapping with hit/miss/eviction/invalidation
-    accounting.
+    accounting and single-flight computation.
 
     ``maxsize=None`` means unbounded; ``maxsize=0`` disables caching
     (every probe misses and stores nothing).
@@ -55,6 +78,7 @@ class PlanCache:
         "maxsize",
         "_lock",
         "_entries",
+        "_inflight",
         "_hits",
         "_misses",
         "_evictions",
@@ -67,6 +91,7 @@ class PlanCache:
         self.maxsize = maxsize
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._inflight: dict[Hashable, _InFlight] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -94,13 +119,70 @@ class PlanCache:
 
     def put(self, key: Hashable, value: object) -> None:
         with self._lock:
-            if self.maxsize == 0:
-                return
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while self.maxsize is not None and len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+            self._store(key, value)
+
+    def _store(self, key: Hashable, value: object) -> None:
+        """Insert ``value`` under ``key`` and evict LRU overflow.  The lock
+        must already be held."""
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], object]
+    ) -> object:
+        """The cached value for ``key``, or ``compute()`` single-flight.
+
+        On a miss, exactly one caller (the *leader*) runs ``compute`` --
+        concurrent callers for the same key block until the leader
+        finishes and are served its value, counted as hits, however many
+        of them pile up during the compile.  If the leader raises, the
+        exception propagates to every waiter of that flight (compilation
+        is deterministic, so re-running it N times would reproduce N
+        identical failures at N times the cost) and the key is cleared
+        for a fresh attempt later.
+        """
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                    self._misses += 1
+                else:
+                    leader = False
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self._hits += 1
+            return flight.value
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
+        flight.value = value
+        with self._lock:
+            self._store(key, value)
+            self._inflight.pop(key, None)
+        flight.done.set()
+        return value
 
     def invalidate(self) -> None:
         """Drop every entry (the schema underlying the plans changed)."""

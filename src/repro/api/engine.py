@@ -36,6 +36,17 @@ delta-bounded access instead of recomputing::
     live = q.execute_incremental(p=42)
     engine.database.insert_many("Friend", new_edges)
     live.refresh()                # touches O(|delta|) tuples, not O(answer)
+
+Queries that no base access plan controls can still become executable
+through materialized views (:mod:`repro.views`, Section 6)::
+
+    engine.views.register("V1", "V1(pid, follower) :- Friend(follower, pid)",
+                          "V1(pid -> 64)")
+    engine.execute("Q(x) :- Friend(x, p)", p=42)   # bounded, via V1
+
+The view registry is versioned into every plan-cache key, and views are
+materialized lazily and refreshed incrementally from the change log
+before each view-assisted execution.
 """
 
 from __future__ import annotations
@@ -55,7 +66,7 @@ from repro.core.executor import (
 from repro.core.plans import Plan, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
-from repro.errors import SchemaError
+from repro.errors import NotControlledError, SchemaError
 from repro.logic.ast import _as_variable
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.parser import parse_query
@@ -63,9 +74,11 @@ from repro.logic.terms import Variable
 from repro.logic.ucq import UnionOfConjunctiveQueries
 from repro.relational.instance import AccessStats, Database
 from repro.relational.schema import DatabaseSchema
+from repro.views import ViewSet, compile_with_views
 
 if TYPE_CHECKING:
     from repro.incremental import IncrementalResult
+    from repro.views import ViewState
 
 Row = tuple[object, ...]
 Query = ConjunctiveQuery | UnionOfConjunctiveQueries
@@ -291,7 +304,7 @@ class PreparedQuery:
         values = merge_parameter_values(parameters, kwargs)
         database = self._engine.require_database()
         plans = self._engine._plans_for(self.query, frozenset(values))
-        ctx = ExecutionContext(database)
+        ctx = ExecutionContext(database, views=self._engine._prepare_views(plans))
         rows: dict[Row, None] = {}
         for plan in plans:
             for row in execute_plan(plan, ctx, values):
@@ -333,7 +346,7 @@ class PreparedQuery:
         values = merge_parameter_values(parameters, kwargs)
         database = self._engine.require_database()
         plans = self._engine._plans_for(self.query, frozenset(values))
-        ctx = ExecutionContext(database)
+        ctx = ExecutionContext(database, views=self._engine._prepare_views(plans))
         rows: dict[Row, None] = {}
         profiles = []
         for plan in plans:
@@ -375,7 +388,14 @@ class Engine:
     omitting ``data`` leaves the engine planning-only until one is bound.
     """
 
-    __slots__ = ("_schema", "_access_state", "_access_lock", "_database", "_cache")
+    __slots__ = (
+        "_schema",
+        "_access_state",
+        "_access_lock",
+        "_database",
+        "_cache",
+        "_views",
+    )
 
     def __init__(
         self,
@@ -396,6 +416,7 @@ class Engine:
         # Writers serialize on _access_lock so versions are never reused.
         self._access_lock = threading.Lock()
         self._access_state = (0, self._coerce_access(access))
+        self._views = ViewSet(schema)
         self._database: Database | None = None
         if data is not None:
             self.database = data if isinstance(data, Database) else Database(schema, data)
@@ -421,6 +442,20 @@ class Engine:
             version, _ = self._access_state
             self._access_state = (version + 1, coerced)
         self._cache.invalidate()
+
+    @property
+    def views(self) -> ViewSet:
+        """The engine's materialized-view registry (:mod:`repro.views`):
+        ``engine.views.register(name, query, access)`` /
+        ``engine.views.drop(name)``.  Registering or dropping a view
+        bumps the registry version, which is part of every plan-cache
+        key -- a plan compiled against a different view population can
+        never be served.  Queries that are not controlled over the base
+        access schema are automatically rewritten over the registered
+        views at compile time; views are materialized lazily and kept
+        fresh from the change log before every view-assisted execution.
+        """
+        return self._views
 
     @property
     def database(self) -> Database | None:
@@ -546,23 +581,56 @@ class Engine:
         # the version is part of the cache key, so a compile racing a
         # concurrent ``engine.access = ...`` can only populate a key
         # belonging to the schema it compiled against -- it can never be
-        # served after the replacement.
+        # served after the replacement.  The view-registry version rides
+        # in the key for the same reason: registering or dropping a view
+        # changes what a query may compile to, so stale view plans are
+        # stranded on unreachable keys.
         version, access = self._access_state
-        key = (version, query, parameters)
-        plans = self._cache.get(key)
-        if plans is None:
+        # One immutable catalog for the whole compile: a register/drop
+        # racing us bumps the version (stranding this key) but can never
+        # make the rewrite and the extended schema disagree.
+        catalog = self._views.snapshot()
+        key = (version, catalog.version, query, parameters)
+
+        def compile_one(disjunct: ConjunctiveQuery, params) -> Plan:
+            try:
+                return compile_plan(disjunct, access, params)
+            except NotControlledError as exc:
+                if not len(catalog):
+                    raise
+                # Not controlled over base data alone: try rewriting over
+                # the registered views (Section 6).  Raises a combined
+                # NotControlledError -- carrying the base failure's
+                # diagnostic -- if the views do not help either.
+                return compile_with_views(
+                    disjunct, access, catalog, params, base_error=exc
+                )
+
+        def compile_all() -> tuple[Plan, ...]:
             # Compile with a deterministic parameter order; values are
             # matched by name at execution time, so order is cosmetic.
             params = tuple(sorted(parameters, key=lambda v: v.name))
             if isinstance(query, ConjunctiveQuery):
-                plans = (compile_plan(query, access, params),)
-            else:
-                plans = tuple(
-                    compile_plan(disjunct, access, params)
-                    for disjunct in query.disjuncts
-                )
-            self._cache.put(key, plans)
-        return plans
+                return (compile_one(query, params),)
+            return tuple(
+                compile_one(disjunct, params) for disjunct in query.disjuncts
+            )
+
+        # Single-flight: N concurrent cold starts of the same key run the
+        # controllability fixpoint once; the others wait and share.
+        return self._cache.get_or_compute(key, compile_all)
+
+    def _prepare_views(
+        self, plans: Sequence[Plan]
+    ) -> "dict[str, ViewState] | None":
+        """Materialized-and-fresh view states for every view any of
+        ``plans`` reads, or None when they read none.  Called right
+        before execution, so view-assisted plans always run against
+        views that reflect the current change-log watermark."""
+        names = frozenset().union(*(plan.view_relations for plan in plans))
+        if not names:
+            return None
+        return self._views.prepare(self.require_database(), names)
 
 
 def _parameter_names(parameters: Iterable[object]) -> frozenset[Variable]:

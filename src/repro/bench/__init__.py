@@ -20,6 +20,21 @@ a from-scratch recompute after every batch -- refresh must win on time
 and stay within the delta fanout bound, which depends on the batch, not
 the database.
 
+The **view scenario** (Section 6, bench version 5) exercises the queries
+the base access schema cannot control at all -- Q4 (followers of ``?p``
+in NYC) and Q5 (who visited ``?u``) -- after registering the workload
+views V1/V2 (:func:`repro.workloads.register_workload_views`).  Per
+(query, size) it records the view-assisted execution (tuples accessed
+must stay within the plan's bound, flat across sizes, zero scans) next
+to an unrestricted naive evaluation of the same query (the base-only
+reference: correct, but honoring no declared access path -- over base
+rules alone the query raises ``NotControlledError``, which the scenario
+also verifies).  Per (view, size) it then drives the churn stream and
+measures incremental view *maintenance*: ``ViewState.refresh()`` wall
+time and stored tuples touched against a from-scratch rematerialization
+after every batch -- refresh must win, and for the single-atom V1/V2 it
+touches zero stored tuples.
+
 The results are written to ``BENCH_<n>.json`` (``n`` =
 :data:`BENCH_VERSION`, bumped whenever the measured pipeline changes) so
 the repository accumulates a perf trajectory over time.  CI runs a
@@ -44,20 +59,27 @@ from typing import Literal, Mapping, Sequence
 
 from repro.api.engine import Engine
 from repro.core.executor import execute_per_tuple, execute_plan
+from repro.errors import NotControlledError
+from repro.views import ViewState
 from repro.workloads import (
+    DEFAULT_VIEW_BOUND,
     RUNNING_QUERIES,
     SOCIAL_SCHEMA,
+    VIEW_QUERIES,
     QueryBundle,
     generate_churn,
     generate_social_network,
+    max_in_degree,
+    register_workload_views,
     sample_pids,
+    sample_urls,
     social_access_text,
     social_engine,
 )
 
 #: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
 #: pipeline changes materially.
-BENCH_VERSION = 4
+BENCH_VERSION = 5
 
 DEFAULT_SIZES = (100, 1000, 10000)
 
@@ -94,6 +116,40 @@ class ChurnRecord:
     refresh_tuples_max: int  # worst refresh's tuples accessed
     delta_bound_max: int  # that refresh's a-priori delta fanout bound
     full_scans: int  # across every refresh; must stay 0
+
+
+@dataclass(frozen=True)
+class ViewQueryRecord:
+    """One (view-unlocked query, database size, mode) measurement: the
+    view-assisted bounded plan vs the unrestricted naive evaluation."""
+
+    query: str
+    size: int
+    mode: str  # "view_assisted" | "base_naive"
+    executions: int
+    wall_time_s: float  # best-of-repeats mean seconds per execution
+    rows: int  # total distinct answer rows across the parameter stream
+    tuples_accessed_max: int  # worst case per execution
+    fanout_bound: int  # the view-assisted plan's bound (0 for naive)
+    full_scans: int  # across the whole run
+    controlled_without_views: bool  # False: base rules alone raise
+
+
+@dataclass(frozen=True)
+class ViewMaintenanceRecord:
+    """One (view, database size) refresh-vs-rematerialize measurement
+    over the seeded churn stream."""
+
+    view: str
+    size: int
+    batches: int
+    batch_size: int
+    refreshes: int
+    refresh_wall_s: float  # mean seconds per incremental refresh
+    recompute_wall_s: float  # mean seconds per from-scratch rebuild
+    speedup: float  # recompute over refresh
+    refresh_tuples_max: int  # worst refresh's stored tuples touched
+    rows_final: int  # view size after the stream (sanity/scale signal)
 
 
 def _measure_access(plan, db, runner, param_values: Sequence[Mapping]) -> tuple[int, int, int, int]:
@@ -216,6 +272,197 @@ def _run_churn(
     ]
 
 
+def _run_views(
+    size: int,
+    *,
+    seed: int,
+    engine_kwargs: Mapping,
+    params_per_size: int,
+    repeats: int,
+    batches: int,
+    batch_size: int,
+) -> tuple[list[ViewQueryRecord], list[ViewMaintenanceRecord]]:
+    """The view scenario at one database size: Q4/Q5 through V1/V2
+    (bounded, differential-checked against naive evaluation) plus
+    refresh-vs-rematerialize view maintenance under churn."""
+    caps = {
+        key: engine_kwargs[key]
+        for key in ("max_friends", "max_visits")
+        if key in engine_kwargs
+    }
+    data = generate_social_network(size, **engine_kwargs)
+    for relation in ("friend", "visits"):
+        actual = max_in_degree(data, relation)
+        if actual > DEFAULT_VIEW_BOUND:
+            raise AssertionError(
+                f"measured in-degree {actual} of {relation!r} exceeds the "
+                f"declared view bound {DEFAULT_VIEW_BOUND} at size {size}: "
+                f"the workload views' promise would be untruthful"
+            )
+    engine = Engine(SOCIAL_SCHEMA, social_access_text(**caps), data)
+    db = engine.require_database()
+    streams: dict[str, list[dict]] = {
+        "Q4": [{"p": pid} for pid in sample_pids(size, params_per_size, seed=seed)],
+        "Q5": [{"u": url} for url in sample_urls(data, params_per_size, seed=seed)],
+    }
+
+    # Over base rules alone these queries must not be controlled at all
+    # -- that is the whole point of the scenario.
+    controlled: dict[str, bool] = {}
+    for bundle in VIEW_QUERIES:
+        prepared = bundle.prepare(engine)
+        try:
+            prepared.plan(bundle.parameters)
+            controlled[bundle.name] = True
+        except NotControlledError:
+            controlled[bundle.name] = False
+
+    views = register_workload_views(engine)
+    records: list[ViewQueryRecord] = []
+    for bundle in VIEW_QUERIES:
+        prepared = bundle.prepare(engine)
+        param_values = streams[bundle.name]
+        for values in param_values:  # warm: plan cache + materialization
+            prepared.execute(values)
+
+        rows: set = set()
+        tuples_max = 0
+        scans = 0
+        bound = 0
+        for values in param_values:
+            result = prepared.execute(values)
+            rows.update(result.rows)
+            tuples_max = max(tuples_max, result.stats.tuples_accessed)
+            scans += result.stats.full_scans
+            bound = result.fanout_bound
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for values in param_values:
+                prepared.execute(values)
+            best = min(best, (time.perf_counter() - start) / len(param_values))
+        records.append(
+            ViewQueryRecord(
+                query=bundle.name,
+                size=size,
+                mode="view_assisted",
+                executions=len(param_values) * repeats,
+                wall_time_s=best,
+                rows=len(rows),
+                tuples_accessed_max=tuples_max,
+                fanout_bound=bound,
+                full_scans=scans,
+                controlled_without_views=controlled[bundle.name],
+            )
+        )
+
+        # The unrestricted reference: naive evaluation honors no access
+        # path; it doubles as the scenario's differential check.
+        cq = prepared.query
+        naive_rows: set = set()
+        naive_tuples_max = 0
+        naive_scans = 0
+        for values in param_values:
+            before = db.stats.snapshot()
+            out = cq.evaluate(db, values)
+            delta = db.stats.since(before)
+            naive_rows.update(out)
+            naive_tuples_max = max(naive_tuples_max, delta.tuples_accessed)
+            naive_scans += delta.full_scans
+        if naive_rows != rows:
+            raise AssertionError(
+                f"view-assisted answers diverged from naive evaluation: "
+                f"{bundle.name} size={size}"
+            )
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for values in param_values:
+                cq.evaluate(db, values)
+            best = min(best, (time.perf_counter() - start) / len(param_values))
+        records.append(
+            ViewQueryRecord(
+                query=bundle.name,
+                size=size,
+                mode="base_naive",
+                executions=len(param_values) * repeats,
+                wall_time_s=best,
+                rows=len(naive_rows),
+                tuples_accessed_max=naive_tuples_max,
+                fanout_bound=0,
+                full_scans=naive_scans,
+                controlled_without_views=controlled[bundle.name],
+            )
+        )
+
+    maintenance: list[ViewMaintenanceRecord] = []
+    if batches:
+        stream = generate_churn(
+            data, batches=batches, batch_size=batch_size, seed=seed + 1, **caps
+        )
+        acc = {
+            view.name: {
+                "refresh": 0.0,
+                "recompute": 0.0,
+                "tuples": 0,
+                "n": 0,
+                "rows": 0,
+            }
+            for view in views
+        }
+        # Compile each maintenance plan once, outside the timed region:
+        # the recompute leg must measure rematerialization, not repeated
+        # plan compilation.
+        maintenance_plans = {
+            view.name: view.maintenance_plan(db.schema) for view in views
+        }
+        for batch in stream:
+            batch.apply(db)
+            for view in views:
+                state = engine.views.state(view.name)
+                if state is None:  # pragma: no cover - warmed above
+                    state = engine.views.prepare(db, [view.name])[view.name]
+                entry = acc[view.name]
+                before = db.stats.snapshot()
+                start = time.perf_counter()
+                state.refresh()
+                entry["refresh"] += time.perf_counter() - start
+                touched = db.stats.since(before).tuples_accessed
+                entry["tuples"] = max(entry["tuples"], touched)
+                start = time.perf_counter()
+                fresh = ViewState(view, db, maintenance_plans[view.name])
+                entry["recompute"] += time.perf_counter() - start
+                if set(fresh.rows) != set(state.rows):
+                    raise AssertionError(
+                        f"view refresh diverged from rematerialization: "
+                        f"{view.name} size={size}"
+                    )
+                entry["n"] += 1
+                entry["rows"] = len(state.rows)
+        maintenance = [
+            ViewMaintenanceRecord(
+                view=name,
+                size=size,
+                batches=batches,
+                batch_size=batch_size,
+                refreshes=entry["n"],
+                refresh_wall_s=entry["refresh"] / entry["n"] if entry["n"] else 0.0,
+                recompute_wall_s=(
+                    entry["recompute"] / entry["n"] if entry["n"] else 0.0
+                ),
+                speedup=(
+                    round(entry["recompute"] / entry["refresh"], 3)
+                    if entry["refresh"]
+                    else float("inf")
+                ),
+                refresh_tuples_max=entry["tuples"],
+                rows_final=entry["rows"],
+            )
+            for name, entry in acc.items()
+        ]
+    return records, maintenance
+
+
 def run_bench(
     sizes: Sequence[int] = DEFAULT_SIZES,
     *,
@@ -226,16 +473,21 @@ def run_bench(
     max_friends: int | None = None,
     churn_batches: int = 4,
     churn_batch_size: int = 16,
+    views: bool = True,
+    view_batches: int = 4,
+    view_batch_size: int = 16,
     output: str | Path | None | Literal[False] = None,
 ) -> dict:
     """Run the workload ``queries`` at each database size in ``sizes`` and
     return (and optionally write) the benchmark document.
 
     ``churn_batches`` / ``churn_batch_size`` shape the churn scenario's
-    mutation stream (``churn_batches=0`` disables it).  ``output`` --
-    path for the JSON document; ``None`` writes the default
-    ``BENCH_<n>.json`` in the current directory; pass ``output=False`` to
-    skip writing.
+    mutation stream (``churn_batches=0`` disables it).  ``views``
+    toggles the Section 6 scenario (Q4/Q5 through V1/V2 plus
+    refresh-vs-rematerialize maintenance shaped by ``view_batches`` /
+    ``view_batch_size``).  ``output`` -- path for the JSON document;
+    ``None`` writes the default ``BENCH_<n>.json`` in the current
+    directory; pass ``output=False`` to skip writing.
     """
     sizes = tuple(sizes)
     if not sizes or any(s < 2 for s in sizes):
@@ -307,6 +559,22 @@ def run_bench(
                 )
             )
 
+    view_records: list[ViewQueryRecord] = []
+    view_maintenance: list[ViewMaintenanceRecord] = []
+    if views:
+        for size in sizes:
+            query_records, maintenance_records = _run_views(
+                size,
+                seed=seed,
+                engine_kwargs=engine_kwargs,
+                params_per_size=params_per_size,
+                repeats=repeats,
+                batches=view_batches,
+                batch_size=view_batch_size,
+            )
+            view_records.extend(query_records)
+            view_maintenance.extend(maintenance_records)
+
     doc = {
         "bench_version": BENCH_VERSION,
         "workload": "social",
@@ -321,8 +589,16 @@ def run_bench(
             "batch_size": churn_batch_size,
             "records": [asdict(r) for r in churn_records],
         },
+        "views": {
+            "enabled": bool(views),
+            "bound": DEFAULT_VIEW_BOUND,
+            "batches": view_batches,
+            "batch_size": view_batch_size,
+            "records": [asdict(r) for r in view_records],
+            "maintenance": [asdict(r) for r in view_maintenance],
+        },
         "plan_cache": cache_stats,
-        "summary": summarize(records, churn_records),
+        "summary": summarize(records, churn_records, view_records, view_maintenance),
     }
     if output is not False:
         write_bench(doc, output)
@@ -330,11 +606,16 @@ def run_bench(
 
 
 def summarize(
-    records: Sequence[BenchRecord], churn_records: Sequence[ChurnRecord] = ()
+    records: Sequence[BenchRecord],
+    churn_records: Sequence[ChurnRecord] = (),
+    view_records: Sequence[ViewQueryRecord] = (),
+    view_maintenance: Sequence[ViewMaintenanceRecord] = (),
 ) -> dict:
     """Per-query roll-up: tuples accessed by size (the flatness evidence),
     the batched-over-per-tuple speedup at the largest size and, when the
-    churn scenario ran, the refresh-over-recompute speedup there too."""
+    churn scenario ran, the refresh-over-recompute speedup there too.
+    The view scenario contributes the same flatness evidence for Q4/Q5
+    (bounded through V1/V2) plus per-view maintenance speedups."""
     by_query: dict[str, dict] = {}
     for record in records:
         entry = by_query.setdefault(
@@ -379,6 +660,30 @@ def summarize(
         entry["refresh_within_delta_bound"] = entry.get(
             "refresh_within_delta_bound", True
         ) and (record.refresh_tuples_max <= record.delta_bound_max)
+    for record in view_records:
+        if record.mode != "view_assisted":
+            continue
+        entry = by_query.setdefault(
+            record.query,
+            {"tuples_accessed_by_size": {}, "fanout_bound": record.fanout_bound},
+        )
+        entry["tuples_accessed_by_size"][str(record.size)] = (
+            record.tuples_accessed_max
+        )
+        entry["fanout_bound"] = record.fanout_bound
+        entry["controlled_without_views"] = record.controlled_without_views
+        entry["within_fanout_bound"] = all(
+            t <= entry["fanout_bound"]
+            for t in entry["tuples_accessed_by_size"].values()
+        )
+    maintenance_largest = max((r.size for r in view_maintenance), default=0)
+    for record in view_maintenance:
+        entry = by_query.setdefault(record.view, {})
+        if record.size == maintenance_largest:
+            entry["view_refresh_speedup_at_largest"] = record.speedup
+        entry["refresh_touches_zero_tuples"] = entry.get(
+            "refresh_touches_zero_tuples", True
+        ) and (record.refresh_tuples_max == 0)
     return by_query
 
 

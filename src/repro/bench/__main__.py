@@ -69,6 +69,26 @@ def main(argv: list[str] | None = None) -> int:
         help="mutations per churn batch",
     )
     parser.add_argument(
+        "--views",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the Section 6 view scenario (Q4/Q5 through V1/V2, "
+        "plus view refresh-vs-rematerialize under churn)",
+    )
+    parser.add_argument(
+        "--view-batches",
+        type=int,
+        default=4,
+        help="churn batches per size for the view-maintenance leg "
+        "(0 disables just that leg)",
+    )
+    parser.add_argument(
+        "--view-size",
+        type=int,
+        default=16,
+        help="mutations per view-maintenance churn batch",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (default: BENCH_<version>.json in the cwd)",
@@ -83,6 +103,9 @@ def main(argv: list[str] | None = None) -> int:
         max_friends=args.max_friends,
         churn_batches=args.churn_batches,
         churn_batch_size=args.churn_size,
+        views=args.views,
+        view_batches=args.view_batches,
+        view_batch_size=args.view_size,
         output=args.out,
     )
 
@@ -128,6 +151,60 @@ def main(argv: list[str] | None = None) -> int:
                 f"{record['speedup']:>7.2f}x "
                 f"{record['refresh_tuples_max']:>7} "
                 f"{record['delta_bound_max']:>7}"
+            )
+    views = doc.get("views", {})
+    if views.get("records"):
+        print(
+            f"\nviews: Q4/Q5 through V1/V2 (declared bound {views['bound']}); "
+            f"base rules alone: NotControlledError"
+        )
+        header = (
+            f"{'query':<6} {'size':>8} {'view µs':>11} {'naive µs':>13} "
+            f"{'speedup':>8} {'tuples':>7} {'bound':>7}"
+        )
+        print(header)
+        print("-" * len(header))
+        by_mode = {
+            (r["query"], r["size"], r["mode"]): r for r in views["records"]
+        }
+        for name in sorted({r["query"] for r in views["records"]}):
+            for size in doc["sizes"]:
+                assisted = by_mode.get((name, size, "view_assisted"))
+                naive = by_mode.get((name, size, "base_naive"))
+                if assisted is None or naive is None:
+                    continue
+                speedup = (
+                    naive["wall_time_s"] / assisted["wall_time_s"]
+                    if assisted["wall_time_s"]
+                    else float("inf")
+                )
+                print(
+                    f"{name:<6} {size:>8} "
+                    f"{assisted['wall_time_s'] * 1e6:>11.1f} "
+                    f"{naive['wall_time_s'] * 1e6:>13.1f} "
+                    f"{speedup:>7.2f}x "
+                    f"{assisted['tuples_accessed_max']:>7} "
+                    f"{assisted['fanout_bound']:>7}"
+                )
+    if views.get("maintenance"):
+        print(
+            f"\nview maintenance: {views['batches']} batches x "
+            f"{views['batch_size']} mutations per size"
+        )
+        header = (
+            f"{'view':<6} {'size':>8} {'refresh µs':>11} {'rebuild µs':>13} "
+            f"{'speedup':>8} {'tuples':>7} {'rows':>7}"
+        )
+        print(header)
+        print("-" * len(header))
+        for record in views["maintenance"]:
+            print(
+                f"{record['view']:<6} {record['size']:>8} "
+                f"{record['refresh_wall_s'] * 1e6:>11.1f} "
+                f"{record['recompute_wall_s'] * 1e6:>13.1f} "
+                f"{record['speedup']:>7.2f}x "
+                f"{record['refresh_tuples_max']:>7} "
+                f"{record['rows_final']:>7}"
             )
     for size, cache in doc["plan_cache"].items():
         print(

@@ -70,7 +70,7 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.core.access_schema import EmbeddedAccessRule
 from repro.core.plans import FetchStep, Plan, ProbeStep
-from repro.errors import IncrementalError
+from repro.errors import IncrementalError, SchemaError
 from repro.logic.ast import Atom, _as_variable
 from repro.logic.evaluation import _bound_pattern, _extend, row_matches
 from repro.logic.terms import Constant, Term, Variable
@@ -83,6 +83,56 @@ Batch = list[Assignment]
 SignedBatch = list[tuple[Assignment, int]]
 
 
+def _rewind_groups(
+    groups: Sequence[tuple[Row, ...]],
+    patterns: Sequence[Mapping[int, object]],
+    net: Mapping[Row, int],
+) -> tuple[tuple[Row, ...], ...]:
+    """Correct current-state lookup ``groups`` back to the pre-delta
+    snapshot: rows inserted since the watermark are dropped, rows deleted
+    since it (and matching the pattern) are restored."""
+    if not net:
+        return tuple(groups)
+    deleted = [row for row, sign in net.items() if sign < 0]
+    adjusted: list[tuple[Row, ...]] = []
+    for pattern, rows in zip(patterns, groups):
+        rows = tuple(row for row in rows if net.get(row, 0) <= 0)
+        restored = tuple(
+            row
+            for row in deleted
+            if all(row[p] == _plain(v) for p, v in pattern.items())
+        )
+        adjusted.append(rows + restored)
+    return tuple(adjusted)
+
+
+def _rewind_membership(
+    rows: Sequence[Sequence[object]],
+    net: Mapping[Row, int],
+    probe,
+) -> tuple[bool, ...]:
+    """Pre-delta membership verdicts: rows the slice says nothing about
+    are probed against the current state via ``probe``; the rest are
+    answered from the slice alone (deleted since the watermark -> present
+    then; inserted since -> absent then)."""
+    if not net:
+        return tuple(probe([tuple(row) for row in rows]))
+    verdicts: list[bool | None] = []
+    unknown: list[Row] = []
+    for row in rows:
+        row = tuple(row)
+        sign = net.get(row)
+        if sign is None:
+            verdicts.append(None)
+            unknown.append(row)
+        else:
+            verdicts.append(sign < 0)
+    if unknown:
+        probed = iter(probe(unknown))
+        verdicts = [next(probed) if v is None else v for v in verdicts]
+    return tuple(verdicts)
+
+
 class ExecutionContext:
     """The per-execution state threaded through every operator.
 
@@ -93,9 +143,26 @@ class ExecutionContext:
     for delta executions -- the net change slice past that watermark.
     Contexts are cheap and never shared across executions; that is what
     makes per-execution accounting exact under concurrent traffic.
+
+    ``views`` maps materialized-view names to their states
+    (:class:`repro.views.ViewState` or anything with the same
+    ``lookup``/``lookup_many``/``contains_many`` surface): view-assisted
+    plans (:mod:`repro.views`) read views through the ``view_*`` methods
+    below, charged to this execution's :attr:`stats` only -- the database
+    cumulative counters see base-table traffic exclusively.  For delta
+    executions, view answer changes ride in :attr:`delta` under the view
+    name, exactly like a base relation's slice.
     """
 
-    __slots__ = ("db", "stats", "watermark", "delta", "_delta_rows", "_delta_index")
+    __slots__ = (
+        "db",
+        "stats",
+        "watermark",
+        "delta",
+        "views",
+        "_delta_rows",
+        "_delta_index",
+    )
 
     def __init__(
         self,
@@ -104,11 +171,13 @@ class ExecutionContext:
         watermark: int | None = None,
         delta: NetDelta | None = None,
         caches: tuple[dict, dict] | None = None,
+        views: Mapping[str, object] | None = None,
     ):
         self.db = db
         self.stats = AccessStats() if stats is None else stats
         self.watermark = db.change_log.watermark if watermark is None else watermark
         self.delta = delta
+        self.views = views
         # Derived views of the slice (row tuples, per-position indexes).
         # ``caches`` lets consumers of one identical slice share them
         # across contexts (see ChangeLog.slice_caches); by default they
@@ -188,20 +257,7 @@ class ExecutionContext:
         slice -- tuples inserted since the watermark are dropped, tuples
         deleted since it are restored."""
         groups = self.db.lookup_many(relation, patterns, self.stats)
-        net = self.delta_net(relation)
-        if not net:
-            return groups
-        deleted = [row for row, sign in net.items() if sign < 0]
-        adjusted: list[tuple[Row, ...]] = []
-        for pattern, rows in zip(patterns, groups):
-            rows = tuple(row for row in rows if net.get(row, 0) <= 0)
-            restored = tuple(
-                row
-                for row in deleted
-                if all(row[p] == _plain(v) for p, v in pattern.items())
-            )
-            adjusted.append(rows + restored)
-        return tuple(adjusted)
+        return _rewind_groups(groups, patterns, self.delta_net(relation))
 
     def contains_many_old(
         self, relation: str, rows: Sequence[Row]
@@ -209,25 +265,65 @@ class ExecutionContext:
         """Bulk membership against the pre-delta snapshot: rows the slice
         says nothing about are probed live; the rest are answered from the
         slice without touching the database."""
-        net = self.delta_net(relation)
-        if not net:
-            return self.db.contains_many(relation, rows, self.stats)
-        verdicts: list[bool | None] = []
-        unknown: list[Row] = []
-        for row in rows:
-            row = tuple(row)
-            sign = net.get(row)
-            if sign is None:
-                verdicts.append(None)
-                unknown.append(row)
-            else:
-                # Deleted since the watermark -> it was present in the old
-                # state; inserted since -> it was absent.
-                verdicts.append(sign < 0)
-        if unknown:
-            probed = iter(self.db.contains_many(relation, unknown, self.stats))
-            verdicts = [next(probed) if v is None else v for v in verdicts]
-        return tuple(verdicts)
+        return _rewind_membership(
+            rows,
+            self.delta_net(relation),
+            lambda unknown: self.db.contains_many(relation, unknown, self.stats),
+        )
+
+    # -- materialized-view reads ------------------------------------------
+
+    def _view(self, name: str):
+        """The state of the materialized view ``name``, or a clear error
+        when the context was opened without view states (a view-assisted
+        plan must be executed through the Engine, which prepares them)."""
+        state = (self.views or {}).get(name)
+        if state is None:
+            raise SchemaError(
+                f"plan reads materialized view {name!r} but the execution "
+                f"context carries no state for it; execute view-assisted "
+                f"plans through the Engine (or pass views= when opening "
+                f"the ExecutionContext)"
+            )
+        return state
+
+    def view_lookup(
+        self, name: str, pattern: Mapping[int, object]
+    ) -> tuple[Row, ...]:
+        """All rows of view ``name`` matching ``pattern``, charged to this
+        execution's stats (views live outside the database, so its
+        cumulative counters are untouched)."""
+        return self._view(name).lookup(pattern, self.stats)
+
+    def view_lookup_many(
+        self, name: str, patterns: Sequence[Mapping[int, object]]
+    ) -> tuple[tuple[Row, ...], ...]:
+        return self._view(name).lookup_many(patterns, self.stats)
+
+    def view_contains(self, name: str, row: Sequence[object]) -> bool:
+        return self._view(name).contains(row, self.stats)
+
+    def view_contains_many(
+        self, name: str, rows: Sequence[Sequence[object]]
+    ) -> tuple[bool, ...]:
+        return self._view(name).contains_many(rows, self.stats)
+
+    def view_lookup_many_old(
+        self, name: str, patterns: Sequence[Mapping[int, object]]
+    ) -> tuple[tuple[Row, ...], ...]:
+        """Bulk view lookup against the pre-delta snapshot: the current
+        view store, corrected in memory by the view's answer slice."""
+        groups = self._view(name).lookup_many(patterns, self.stats)
+        return _rewind_groups(groups, patterns, self.delta_net(name))
+
+    def view_contains_many_old(
+        self, name: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        return _rewind_membership(
+            rows,
+            self.delta_net(name),
+            lambda unknown: self._view(name).contains_many(unknown, self.stats),
+        )
 
 
 def _as_context(db) -> ExecutionContext:
@@ -353,8 +449,18 @@ class FetchOp:
             patterns.append(pattern)
         return patterns
 
+    # The lookup source, overridden by ViewScanOp to read a view store
+    # instead of the database; every other line of run/run_old/run_delta
+    # is shared.
+
+    def _lookup_many(self, ctx: ExecutionContext, patterns):
+        return ctx.lookup_many(self.atom.relation, patterns)
+
+    def _lookup_many_old(self, ctx: ExecutionContext, patterns):
+        return ctx.lookup_many_old(self.atom.relation, patterns)
+
     def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
-        groups = ctx.lookup_many(self.atom.relation, self._patterns(batch))
+        groups = self._lookup_many(ctx, self._patterns(batch))
         check_items = self._check_items
         bind_items = self._bind_items
         dedup_positions = self.dedup_positions
@@ -448,9 +554,7 @@ class FetchOp:
         self._check_delta_supported()
         if not batch:
             return []
-        groups = ctx.lookup_many_old(
-            self.atom.relation, self._patterns(a for a, _ in batch)
-        )
+        groups = self._lookup_many_old(ctx, self._patterns(a for a, _ in batch))
         check_items = self._check_items
         out: SignedBatch = []
         for (assignment, sign), rows in zip(batch, groups):
@@ -491,11 +595,20 @@ class ProbeOp:
             ref if is_const else assignment[ref] for is_const, ref in self._items
         )
 
+    # The membership source, overridden by ViewProbeOp to probe a view
+    # store instead of the database.
+
+    def _contains_many(self, ctx: ExecutionContext, rows):
+        return ctx.contains_many(self.atom.relation, rows)
+
+    def _contains_many_old(self, ctx: ExecutionContext, rows):
+        return ctx.contains_many_old(self.atom.relation, rows)
+
     def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
         if not batch:
             return batch
         rows = [self._row(assignment) for assignment in batch]
-        verdicts = ctx.contains_many(self.atom.relation, rows)
+        verdicts = self._contains_many(ctx, rows)
         return [a for a, present in zip(batch, verdicts) if present]
 
     def run_delta(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
@@ -517,8 +630,49 @@ class ProbeOp:
         if not batch:
             return []
         rows = [self._row(assignment) for assignment, _ in batch]
-        verdicts = ctx.contains_many_old(self.atom.relation, rows)
+        verdicts = self._contains_many_old(ctx, rows)
         return [entry for entry, present in zip(batch, verdicts) if present]
+
+
+@dataclass(frozen=True)
+class ViewScanOp(FetchOp):
+    """A :class:`FetchOp` whose atom names a materialized view
+    (:mod:`repro.views`): only the lookup source differs -- batches are
+    answered from the execution context's view store, indexed on the key
+    positions and charged to the per-execution stats only, instead of
+    the database.  ``run``/``run_old``/``run_delta`` are inherited: a
+    view's answer changes ride in ``ctx.delta`` under the view's name,
+    so the delta face joins them exactly like a base relation's slice,
+    and the old face rewinds the current view store by that slice."""
+
+    def __str__(self) -> str:
+        binds = ", ".join(f"?{self.atom.terms[p]}" for p in self.bind_positions)
+        return f"view scan {self.atom} [key {self.key_positions}]" + (
+            f" binding {binds}" if binds else ""
+        )
+
+    def _lookup_many(self, ctx: ExecutionContext, patterns):
+        return ctx.view_lookup_many(self.atom.relation, patterns)
+
+    def _lookup_many_old(self, ctx: ExecutionContext, patterns):
+        return ctx.view_lookup_many_old(self.atom.relation, patterns)
+
+
+@dataclass(frozen=True)
+class ViewProbeOp(ProbeOp):
+    """A :class:`ProbeOp` whose membership source is a materialized
+    view's store instead of the database; everything else -- including
+    the delta face, which reads the view's answer changes from
+    ``ctx.delta`` under the view's name -- is inherited."""
+
+    def __str__(self) -> str:
+        return f"view probe {self.atom}"
+
+    def _contains_many(self, ctx: ExecutionContext, rows):
+        return ctx.view_contains_many(self.atom.relation, rows)
+
+    def _contains_many_old(self, ctx: ExecutionContext, rows):
+        return ctx.view_contains_many_old(self.atom.relation, rows)
 
 
 @dataclass(frozen=True)
@@ -574,7 +728,7 @@ class ProjectDedupOp:
             into[row] = into.get(row, 0) + sign
 
 
-Operator = FilterOp | FetchOp | ProbeOp | ProjectDedupOp
+Operator = FilterOp | FetchOp | ProbeOp | ViewScanOp | ViewProbeOp | ProjectDedupOp
 
 
 def _parameter_constraints(
@@ -624,9 +778,11 @@ def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
     ops: list[Operator] = []
     if conditions or binds:
         ops.append(FilterOp(conditions, binds))
+    view_relations = plan.view_relations
     for step in plan.steps:
+        is_view = step.atom.relation in view_relations
         if isinstance(step, ProbeStep):
-            ops.append(ProbeOp(step.atom))
+            ops.append(ViewProbeOp(step.atom) if is_view else ProbeOp(step.atom))
             continue
         terms = step.atom.terms
         determined = tuple(
@@ -649,7 +805,8 @@ def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
             for p in bindable
             if isinstance(terms[p], Variable) and terms[p] not in bound
         )
-        ops.append(FetchOp(step.atom, key, check, bind, dedup))
+        op_type = ViewScanOp if is_view else FetchOp
+        ops.append(op_type(step.atom, key, check, bind, dedup))
         bound.update(step.binds)
     ops.append(ProjectDedupOp(plan.head_terms))
     return tuple(ops)
@@ -1048,13 +1205,28 @@ def _run_per_tuple(
         yield assignment
         return
     step = plan.steps[i]
+    is_view = step.atom.relation in plan.view_relations
     if isinstance(step, ProbeStep):
         row = tuple(_term_value(t, assignment) for t in step.atom.terms)
-        if ctx.contains(step.atom.relation, row):
+        present = (
+            ctx.view_contains(step.atom.relation, row)
+            if is_view
+            else ctx.contains(step.atom.relation, row)
+        )
+        if present:
             yield from _run_per_tuple(plan, ctx, i + 1, assignment)
         return
 
     atom = step.atom
+    if is_view:
+        # View rules are always plain: key on every bound position and
+        # read the view store (charged to the per-execution stats only).
+        pattern = _bound_pattern(atom, assignment)
+        for row in ctx.view_lookup(atom.relation, pattern):
+            extended = _extend(atom, row, assignment)
+            if extended is not None:
+                yield from _run_per_tuple(plan, ctx, i + 1, extended)
+        return
     if isinstance(step.rule, EmbeddedAccessRule):
         # The access path is keyed on the rule's inputs only; other bound
         # positions are filtered after the fetch, and only the rule's

@@ -77,7 +77,16 @@ Step = FetchStep | ProbeStep
 
 
 class Plan:
-    """A compiled scale-independent plan for a conjunctive query."""
+    """A compiled scale-independent plan for a conjunctive query.
+
+    ``view_relations`` names the relations of the plan's atoms that are
+    *materialized views* rather than base tables (:mod:`repro.views`):
+    their steps lower to view-store operators
+    (:class:`~repro.core.executor.ViewScanOp` /
+    :class:`~repro.core.executor.ViewProbeOp`) instead of database
+    fetches, and executing the plan requires an execution context that
+    carries the corresponding view states.
+    """
 
     __slots__ = (
         "query",
@@ -85,6 +94,7 @@ class Plan:
         "steps",
         "head_terms",
         "satisfiable",
+        "view_relations",
         "_pipeline",
     )
 
@@ -95,12 +105,14 @@ class Plan:
         steps: tuple[Step, ...],
         head_terms: tuple[Term, ...],
         satisfiable: bool = True,
+        view_relations: frozenset[str] = frozenset(),
     ):
         self.query = query
         self.parameters = parameters
         self.steps = steps
         self.head_terms = head_terms
         self.satisfiable = satisfiable
+        self.view_relations = frozenset(view_relations)
         # The lowered physical-operator pipeline, memoized by
         # repro.core.executor.pipeline_for on first execution.
         self._pipeline = None
@@ -171,9 +183,16 @@ def compile_plan(
     query: ConjunctiveQuery,
     access: AccessSchema,
     parameters: Iterable[object] = (),
+    *,
+    view_relations: frozenset[str] = frozenset(),
 ) -> Plan:
     """Compile a scale-independent plan for ``query`` under ``access``,
     with the variables in ``parameters`` supplied at execution time.
+
+    ``view_relations`` marks relation names of ``access.schema`` that are
+    materialized views: their steps execute against view stores instead
+    of the database (used by :mod:`repro.views`, which compiles rewritten
+    queries against a schema extended with one relation per view).
 
     Raises :class:`NotControlledError` if the query is not controlled by
     ``parameters`` under ``access``.
@@ -189,7 +208,14 @@ def compile_plan(
 
     subst = query.equality_substitution()
     if subst is None:
-        return Plan(query, params, (), tuple(subst_head(query, {})), satisfiable=False)
+        return Plan(
+            query,
+            params,
+            (),
+            tuple(subst_head(query, {})),
+            satisfiable=False,
+            view_relations=view_relations,
+        )
 
     atoms = [a.substitute(subst) for a in query.body]
     bound: set[Variable] = set()
@@ -253,7 +279,9 @@ def compile_plan(
     ]
     if unbound_head:
         _raise_not_controlled(query, access, params, bound, [], subst)
-    return Plan(query, params, tuple(steps), head_terms)
+    return Plan(
+        query, params, tuple(steps), head_terms, view_relations=view_relations
+    )
 
 
 def subst_head(query: ConjunctiveQuery, subst: Substitution) -> list[Term]:

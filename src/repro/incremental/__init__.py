@@ -89,6 +89,7 @@ class IncrementalResult:
         "_plans",
         "_seeds",
         "_access_version",
+        "_views_version",
         "_counts",
         "_order",
         "_delta_sizes",
@@ -167,7 +168,12 @@ class IncrementalResult:
         """
         engine = self._engine
         version, _ = engine._access_state
-        if version != self._access_version:
+        if (
+            version != self._access_version
+            or engine.views.version != self._views_version
+        ):
+            # The access schema or the view population changed under us:
+            # the compiled plans are stale, so rebase onto fresh ones.
             self._materialize()
             self.last_mode = "rebase"
             return self
@@ -175,11 +181,33 @@ class IncrementalResult:
         log = db.change_log
         now = log.watermark
         delta = log.net_since(self.watermark)
+        # View-assisted plans: bring the views up to date first, then ride
+        # their answer changes in the slice under the view names -- the
+        # delta pipeline joins them exactly like base-relation changes.
+        states = engine._prepare_views(self._plans)
+        if states is not None:
+            view_delta: dict[str, dict[Row, int]] = {}
+            for name in sorted(
+                {n for plan in self._plans for n in plan.view_relations}
+            ):
+                net = states[name].changes_since(self.watermark)
+                if net is None:
+                    # The view cannot replay its answer changes back to
+                    # our watermark (re-materialized, or the span does not
+                    # align); recompute rather than guess.
+                    self._materialize()
+                    self.last_mode = "rebase"
+                    return self
+                if net:
+                    view_delta[name] = net
+            if view_delta:
+                delta = {**delta, **view_delta}
         ctx = ExecutionContext(
             db,
             watermark=self.watermark,
             delta=delta,
             caches=log.slice_caches(self.watermark) if delta else None,
+            views=states,
         )
         profiles: list[PlanProfile] = []
         self._delta_sizes = {relation: len(rows) for relation, rows in delta.items()}
@@ -215,13 +243,19 @@ class IncrementalResult:
         engine = self._engine
         db = engine.require_database()
         version, _ = engine._access_state
+        views_version = engine.views.version
         plans: tuple[Plan, ...] = engine._plans_for(
             self._query, frozenset(self._values)
         )
         for plan in plans:
             check_delta_supported(plan)
+        # Refresh any views the plans read *before* snapshotting the
+        # watermark: the counting pass must see views that agree with the
+        # base state at that watermark (mutations are single-writer, so
+        # nothing moves in between).
+        states = engine._prepare_views(plans)
         watermark = db.change_log.watermark
-        ctx = ExecutionContext(db, watermark=watermark)
+        ctx = ExecutionContext(db, watermark=watermark, views=states)
         # Like refresh(), the initial pass skips profile bookkeeping --
         # profiles come from refresh(analyze=True) on demand.
         counts: list[dict[Row, int]] = [
@@ -236,6 +270,7 @@ class IncrementalResult:
             for plan in plans
         ]
         self._access_version = version
+        self._views_version = views_version
         self._counts = counts
         self._order: dict[Row, None] = {}
         self._reorder()

@@ -5,11 +5,18 @@ classic theorem): ``Q1`` is contained in ``Q2`` iff there is a homomorphism
 from ``Q2`` into the canonical database of ``Q1`` mapping head to head.
 This module implements the backtracking homomorphism search and the derived
 notions: containment, equivalence and minimisation (the core of a CQ).
+
+:func:`body_homomorphisms` exposes the body-to-body search on its own
+(no head constraint): it enumerates every way one atom list maps into
+another.  That is the engine of view rewriting (:mod:`repro.views`) --
+a homomorphism from a view's body into a query's body witnesses that the
+view's head projection is *implied* by the query, so the corresponding
+view atom may soundly be added to the query.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterator, Mapping, Sequence
 
 from repro.logic.ast import Atom
 from repro.logic.cq import ConjunctiveQuery
@@ -99,6 +106,50 @@ def find_homomorphism(
         return None
 
     return recurse(0, h)
+
+
+def body_homomorphisms(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    *,
+    seed: Mapping[Variable, Term] | None = None,
+) -> Iterator[Homomorphism]:
+    """Every homomorphism from the atom list ``source`` into the atom list
+    ``target``: each mapping sends every source atom onto some target atom
+    of the same relation, position by position (constants match on their
+    underlying values, as everywhere in evaluation).
+
+    Unlike :func:`find_homomorphism` there is no head constraint and all
+    solutions are enumerated lazily, deduplicated (two different
+    atom-to-atom assignments can induce the same variable mapping).
+    ``seed`` optionally pre-binds source variables.
+    """
+    by_relation: dict[str, list[Atom]] = {}
+    for atom in target:
+        by_relation.setdefault(atom.relation, []).append(atom)
+
+    emitted: set[tuple[tuple[Variable, Term], ...]] = set()
+
+    def recurse(i: int, h: Homomorphism) -> Iterator[Homomorphism]:
+        if i == len(source):
+            key = tuple(sorted(h.items(), key=lambda item: item[0].name))
+            if key not in emitted:
+                emitted.add(key)
+                yield h
+            return
+        atom = source[i]
+        for candidate in by_relation.get(atom.relation, ()):
+            if candidate.arity != atom.arity:
+                continue
+            extended: Homomorphism | None = h
+            for s, t in zip(atom.terms, candidate.terms):
+                extended = _unify(s, t, extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                yield from recurse(i + 1, extended)
+
+    yield from recurse(0, dict(seed) if seed else {})
 
 
 def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:

@@ -38,6 +38,7 @@ executions is undefined.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -92,6 +93,12 @@ class ChangeEntry:
         return f"[{self.tid}] {self.op}{self.relation}{self.row!r}"
 
 
+#: How many memoized slices (``net_since`` results and their derived-view
+#: caches) a ChangeLog retains; one per *live* watermark is enough, so
+#: this bounds memory while letting many refresh cadences coexist.
+SLICE_CACHE_SIZE = 8
+
+
 class ChangeLog:
     """A monotonic, append-only log of effective database mutations.
 
@@ -108,9 +115,14 @@ class ChangeLog:
         self._entries: list[ChangeEntry] = []
         # Memoized net_since slices keyed by (from, to): many incremental
         # results refreshing off one log hit the identical slice, and the
-        # log is append-only so an entry can never go stale.
-        self._net_cache: dict[tuple[int, int], NetDelta] = {}
-        self._slice_caches: dict[tuple[int, int], tuple[dict, dict]] = {}
+        # log is append-only so an entry can never go stale.  Both memos
+        # evict least-recently-used entries past SLICE_CACHE_SIZE -- a
+        # reader's hot slice survives however many cold watermarks other
+        # readers probe in between.
+        self._net_cache: OrderedDict[tuple[int, int], NetDelta] = OrderedDict()
+        self._slice_caches: OrderedDict[tuple[int, int], tuple[dict, dict]] = (
+            OrderedDict()
+        )
 
     @property
     def watermark(self) -> int:
@@ -155,6 +167,7 @@ class ChangeLog:
         key = (watermark, len(self._entries))
         cached = self._net_cache.get(key)
         if cached is not None:
+            self._net_cache.move_to_end(key)
             return cached
         net: NetDelta = {}
         for entry in self._entries[watermark:]:
@@ -165,9 +178,9 @@ class ChangeLog:
             else:
                 del rows[entry.row]
         net = {relation: rows for relation, rows in net.items() if rows}
-        if len(self._net_cache) >= 8:
-            self._net_cache.clear()
         self._net_cache[key] = net
+        while len(self._net_cache) > SLICE_CACHE_SIZE:
+            self._net_cache.popitem(last=False)
         return net
 
     def slice_caches(self, watermark: int) -> tuple[dict, dict]:
@@ -179,10 +192,12 @@ class ChangeLog:
         key = (watermark, len(self._entries))
         caches = self._slice_caches.get(key)
         if caches is None:
-            if len(self._slice_caches) >= 8:
-                self._slice_caches.clear()
             caches = ({}, {})
             self._slice_caches[key] = caches
+            while len(self._slice_caches) > SLICE_CACHE_SIZE:
+                self._slice_caches.popitem(last=False)
+        else:
+            self._slice_caches.move_to_end(key)
         return caches
 
 

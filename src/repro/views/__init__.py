@@ -1,0 +1,69 @@
+"""Scale independence using views (Fan, Geerts & Libkin 2014, Section 6).
+
+Some queries cannot be answered with boundedly many tuple accesses over
+the base tables, whatever the parameters -- there simply is no access
+rule pointing the right way.  Section 6's remedy: *materialized views*.
+A query is scale independent **using views** when it can be answered
+from a set of materialized views plus boundedly many base-table
+accesses; the canonical example is an inverted edge index that makes
+"who follows ``?p``" bounded even though only the forward direction has
+a declared access rule.
+
+The package in three pieces:
+
+* :class:`ViewDef` / :class:`ViewSet` (:mod:`repro.views.definition`) --
+  a named conjunctive query over the base schema plus the access rules
+  its materialization offers, and the versioned registry the Engine's
+  plan-cache keys incorporate.  Registration validates everything
+  eagerly: unknown relations, name collisions and repeated head
+  variables fail at ``register`` time, never at first execute.
+* :class:`ViewState` -- one view's materialization: answer rows with
+  derivation counts (via
+  :func:`~repro.core.executor.execute_plan_counting` under a permissive
+  access schema), lazily built hash indexes, and incremental maintenance
+  by :func:`~repro.core.executor.execute_plan_delta` over the database's
+  change-log slice past the view's watermark -- a refresh costs
+  O(changes), not O(database), and a single-atom view refreshes without
+  touching stored tuples at all.  Every refresh appends the set-level
+  answer change to a ledger, so incremental *query* results can consume
+  view deltas exactly like base-relation slices.
+* the rewriter (:mod:`repro.views.rewrite`) -- homomorphism-based
+  augmentation: every view whose body maps into the query contributes an
+  implied view atom, and the ordinary planner then compiles the
+  augmented query against the extended schema, lowering view steps to
+  :class:`~repro.core.executor.ViewScanOp` /
+  :class:`~repro.core.executor.ViewProbeOp`.
+
+Reached through the facade::
+
+    engine.views.register("V1", "V1(pid, follower) :- friend(follower, pid)",
+                          "V1(pid -> 64)")
+    engine.execute("Q(x) :- friend(x, p)", p=7)   # bounded, via V1
+    engine.database.insert_many("friend", edges)  # views refresh lazily
+"""
+
+from repro.views.definition import (
+    MAINTENANCE_SCAN_BOUND,
+    ViewCatalog,
+    ViewDef,
+    ViewSet,
+    ViewState,
+    maintenance_access,
+)
+from repro.views.rewrite import (
+    compile_with_views,
+    implied_view_atoms,
+    rewrite_with_views,
+)
+
+__all__ = [
+    "ViewDef",
+    "ViewSet",
+    "ViewState",
+    "ViewCatalog",
+    "maintenance_access",
+    "MAINTENANCE_SCAN_BOUND",
+    "compile_with_views",
+    "implied_view_atoms",
+    "rewrite_with_views",
+]

@@ -22,17 +22,27 @@ from repro.workloads.social import (
     CITIES,
     DEFAULT_MAX_FRIENDS,
     DEFAULT_MAX_VISITS,
+    DEFAULT_VIEW_BOUND,
     Q1,
     Q2,
     Q3,
+    Q4,
+    Q5,
     RUNNING_QUERIES,
     SOCIAL_ACCESS,
     SOCIAL_SCHEMA,
+    VIEW_QUERIES,
     QueryBundle,
+    audience_view,
+    follower_view,
     generate_social_network,
+    max_in_degree,
+    register_workload_views,
     sample_pids,
+    sample_urls,
     social_access_text,
     social_engine,
+    workload_views,
 )
 
 __all__ = [
@@ -40,16 +50,26 @@ __all__ = [
     "Q1",
     "Q2",
     "Q3",
+    "Q4",
+    "Q5",
     "RUNNING_QUERIES",
+    "VIEW_QUERIES",
     "SOCIAL_SCHEMA",
     "SOCIAL_ACCESS",
     "CITIES",
     "DEFAULT_MAX_FRIENDS",
     "DEFAULT_MAX_VISITS",
+    "DEFAULT_VIEW_BOUND",
     "social_access_text",
     "generate_social_network",
     "social_engine",
     "sample_pids",
+    "sample_urls",
+    "max_in_degree",
+    "follower_view",
+    "audience_view",
+    "workload_views",
+    "register_workload_views",
     "ChurnBatch",
     "CHURN_RELATIONS",
     "generate_churn",

@@ -1,4 +1,5 @@
-"""The paper's social-network workload: seeded data plus Q1/Q2/Q3.
+"""The paper's social-network workload: seeded data plus Q1/Q2/Q3,
+the Section 6 views V1/V2 and the queries they unlock (Q4/Q5).
 
 The generator produces a ``person(pid, name, city)`` / ``friend(pid1,
 pid2)`` / ``visits(pid, url)`` instance whose out-degrees follow a Pareto
@@ -17,6 +18,29 @@ The running queries, each parameterized by a person ``?p``:
 
 All three are controlled by ``{p}`` under the workload's access schema,
 so their plans touch a bounded number of tuples at any database size.
+
+Two natural queries are *not* controlled over the base rules, because
+both edge relations only declare forward access paths:
+
+* **Q4** -- ``?p``'s *followers* who live in NYC (``friend(f, p)`` keyed
+  on the unknown first position);
+* **Q5** -- who visited page ``?u`` (``visits(y, u)`` keyed on the
+  unknown first position).
+
+They become scale independent **using views** (Section 6) once the
+workload's materialized views are registered:
+
+* **V1** ``V1(pid, follower) <- friend(follower, pid)`` -- the inverted
+  friend index, with rule ``V1(pid -> 64)``;
+* **V2** ``V2(url, visitor) <- visits(visitor, url)`` -- the page
+  audience index, with rule ``V2(url -> 64)``.
+
+The ``64`` bounds are promises about in-degrees, just as the base access
+rules promise out-degrees: the generator picks targets uniformly, so
+in-degrees concentrate around the (constant) mean out-degree and stay
+far below 64 at any size the suite exercises -- :func:`max_in_degree`
+measures the actual maximum so tests and benchmarks can assert the
+promise holds on the generated instance.
 """
 
 from __future__ import annotations
@@ -26,6 +50,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.api.engine import Engine, PreparedQuery
+from repro.views import ViewDef
 
 Row = tuple[object, ...]
 
@@ -111,6 +136,70 @@ Q3 = QueryBundle(
 )
 
 RUNNING_QUERIES = (Q1, Q2, Q3)
+
+#: The declared in-degree promise of the workload views V1/V2 (see the
+#: module docstring: actual in-degrees concentrate around the constant
+#: mean out-degree, independent of the database size).
+DEFAULT_VIEW_BOUND = 64
+
+
+def follower_view(bound: int = DEFAULT_VIEW_BOUND) -> ViewDef:
+    """**V1**: the inverted friend index ``V1(pid, follower)``, offering
+    "who follows ``pid``" as a bounded access path."""
+    return ViewDef(
+        "V1",
+        "V1(pid, follower) :- friend(follower, pid)",
+        f"V1(pid -> {bound})",
+    )
+
+
+def audience_view(bound: int = DEFAULT_VIEW_BOUND) -> ViewDef:
+    """**V2**: the page audience index ``V2(url, visitor)``, offering
+    "who visited ``url``" as a bounded access path."""
+    return ViewDef(
+        "V2",
+        "V2(url, visitor) :- visits(visitor, url)",
+        f"V2(url -> {bound})",
+    )
+
+
+def workload_views(bound: int = DEFAULT_VIEW_BOUND) -> tuple[ViewDef, ViewDef]:
+    """The workload's materialized views V1/V2, ready to register."""
+    return (follower_view(bound), audience_view(bound))
+
+
+def register_workload_views(
+    engine: Engine, bound: int = DEFAULT_VIEW_BOUND
+) -> tuple[ViewDef, ViewDef]:
+    """Register V1/V2 on ``engine`` and return them: after this, Q4/Q5
+    compile to view-assisted plans with bounded base access."""
+    views = workload_views(bound)
+    for view in views:
+        engine.views.register(view)
+    return views
+
+
+Q4 = QueryBundle(
+    name="Q4",
+    description="?p's followers who live in NYC (needs V1)",
+    schema=SOCIAL_SCHEMA,
+    access=SOCIAL_ACCESS,
+    query="Q(f) :- friend(f, p), person(f, n, 'NYC')",
+    parameters=("p",),
+)
+
+Q5 = QueryBundle(
+    name="Q5",
+    description="who visited page ?u (needs V2)",
+    schema=SOCIAL_SCHEMA,
+    access=SOCIAL_ACCESS,
+    query="Q(y) :- visits(y, u)",
+    parameters=("u",),
+)
+
+#: Queries uncontrolled over the base access schema; scale independent
+#: using the workload views (V1 for Q4, V2 for Q5).
+VIEW_QUERIES = (Q4, Q5)
 
 
 def _degree(rng: random.Random, skew: float, cap: int) -> int:
@@ -206,3 +295,28 @@ def sample_pids(persons: int, count: int, *, seed: int = 0) -> list[int]:
     perturbs the generated instance."""
     rng = random.Random(seed * 2654435761 + 97)
     return [rng.randrange(persons) for _ in range(count)]
+
+
+def sample_urls(
+    data: Mapping[str, Sequence[Row]], count: int, *, seed: int = 0
+) -> list[str]:
+    """``count`` urls sampled with replacement from the instance's
+    ``visits`` relation -- the parameter stream for Q5.  Seeded
+    independently of the generator, like :func:`sample_pids`."""
+    urls = sorted({row[1] for row in data.get("visits", ())})
+    if not urls:
+        raise ValueError("the instance has no visits to sample urls from")
+    rng = random.Random(seed * 2654435761 + 193)
+    return [urls[rng.randrange(len(urls))] for _ in range(count)]
+
+
+def max_in_degree(
+    data: Mapping[str, Sequence[Row]], relation: str, position: int = 1
+) -> int:
+    """The largest number of rows of ``relation`` sharing one value at
+    ``position`` -- the measured in-degree ceiling the workload views'
+    declared bounds must dominate for the promise to be truthful."""
+    counts: dict[object, int] = {}
+    for row in data.get(relation, ()):
+        counts[row[position]] = counts.get(row[position], 0) + 1
+    return max(counts.values(), default=0)

@@ -41,8 +41,11 @@ def test_tuples_stay_within_fanout_bound_and_no_scans(bench_doc):
     for record in doc["records"]:
         assert record["tuples_accessed_max"] <= record["fanout_bound"]
         assert record["full_scans"] == 0
-    for entry in doc["summary"].values():
-        assert entry["within_fanout_bound"] is True
+    # Every entry with access-flatness evidence (Q1..Q3 and the
+    # view-assisted Q4/Q5; the V1/V2 maintenance entries carry none).
+    for name, entry in doc["summary"].items():
+        if "tuples_accessed_by_size" in entry:
+            assert entry["within_fanout_bound"] is True, name
 
 
 def test_summary_has_speedup_and_flatness_evidence(bench_doc):
@@ -125,8 +128,8 @@ def test_churn_refreshes_stay_within_delta_bound_without_scans(bench_doc):
         assert record["refresh_tuples_max"] <= record["delta_bound_max"]
         assert record["full_scans"] == 0
         assert record["refreshes"] == record["batches"] * 3  # params_per_size
-    for entry in doc["summary"].values():
-        assert entry["refresh_within_delta_bound"] is True
+    for name in ("Q1", "Q2", "Q3"):
+        assert doc["summary"][name]["refresh_within_delta_bound"] is True
 
 
 def test_churn_summary_reports_refresh_speedup(bench_doc):
@@ -141,3 +144,89 @@ def test_churn_can_be_disabled():
     )
     assert doc["churn"]["records"] == []
     assert "refresh_speedup_at_largest" not in doc["summary"]["Q1"]
+
+
+# -- the view scenario (Section 6) ----------------------------------------
+
+
+def test_view_records_cover_both_queries_sizes_and_modes(bench_doc):
+    doc, _ = bench_doc
+    views = doc["views"]
+    assert views["enabled"] is True
+    keys = {(r["query"], r["size"], r["mode"]) for r in views["records"]}
+    assert keys == {
+        (q, s, m)
+        for q in ("Q4", "Q5")
+        for s in (20, 80)
+        for m in ("view_assisted", "base_naive")
+    }
+
+
+def test_view_assisted_is_bounded_and_base_rules_are_insufficient(bench_doc):
+    doc, _ = bench_doc
+    for record in doc["views"]["records"]:
+        assert record["controlled_without_views"] is False
+        if record["mode"] == "view_assisted":
+            assert record["tuples_accessed_max"] <= record["fanout_bound"]
+            assert record["full_scans"] == 0
+    for name in ("Q4", "Q5"):
+        entry = doc["summary"][name]
+        assert entry["within_fanout_bound"] is True
+        assert entry["controlled_without_views"] is False
+
+
+def test_view_maintenance_refresh_beats_rebuild_touching_zero_tuples(bench_doc):
+    doc, _ = bench_doc
+    maintenance = doc["views"]["maintenance"]
+    keys = {(r["view"], r["size"]) for r in maintenance}
+    assert keys == {(v, s) for v in ("V1", "V2") for s in (20, 80)}
+    for record in maintenance:
+        # Single-atom views refresh purely from the in-memory slice.
+        assert record["refresh_tuples_max"] == 0
+        assert record["refreshes"] == record["batches"]
+    for name in ("V1", "V2"):
+        entry = doc["summary"][name]
+        assert entry["refresh_touches_zero_tuples"] is True
+        assert "view_refresh_speedup_at_largest" in entry
+
+
+def test_view_scenario_can_be_disabled():
+    doc = run_bench(
+        sizes=(20,),
+        repeats=1,
+        params_per_size=2,
+        churn_batches=0,
+        views=False,
+        output=False,
+    )
+    assert doc["views"]["enabled"] is False
+    assert doc["views"]["records"] == []
+    assert "Q4" not in doc["summary"]
+
+
+def test_cli_prints_view_tables(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_cli_views.json"
+    assert (
+        main(
+            [
+                "--sizes",
+                "15,30",
+                "--repeats",
+                "1",
+                "--params",
+                "2",
+                "--view-batches",
+                "2",
+                "--view-size",
+                "6",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert "view maintenance" in printed
+    assert "Q4" in printed and "V2" in printed

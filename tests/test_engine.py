@@ -440,6 +440,78 @@ def test_plan_cache_is_thread_safe_under_concurrent_traffic(engine):
     assert stats.hits + stats.misses >= 800
 
 
+def test_concurrent_cold_start_compiles_once(engine, monkeypatch):
+    # Single-flight: N threads cold-starting the same (query, parameter
+    # set) must trigger exactly one compile_plan; the rest wait on the
+    # in-flight marker and are served the leader's plans as hits.
+    import threading
+    import time
+
+    real = engine_module.compile_plan
+    calls = []
+
+    def slow_counted_compile(*args, **kwargs):
+        calls.append(args)
+        time.sleep(0.05)  # hold the flight open so every thread piles up
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_module, "compile_plan", slow_counted_compile)
+
+    workers = 8
+    barrier = threading.Barrier(workers)
+    results, errors = [], []
+
+    def hammer():
+        barrier.wait()
+        try:
+            results.append(engine.execute(NYC_FRIENDS, p=1).rows)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(calls) == 1  # one compilation, not eight
+    stats = engine.cache_stats()
+    assert stats.misses == 1
+    assert stats.compilations == 1
+    assert stats.hits == workers - 1
+    assert len(set(results)) == 1  # every thread saw the same answers
+
+
+def test_concurrent_cold_start_shares_compile_failure(engine):
+    # A failing leader propagates its NotControlledError to every waiter
+    # instead of each of them re-running the doomed fixpoint.
+    import threading
+
+    workers = 6
+    barrier = threading.Barrier(workers)
+    outcomes = []
+
+    def hammer_uncontrolled():
+        barrier.wait()
+        try:
+            engine.execute("Q(y, z) :- friend(y, z)")
+        except NotControlledError:
+            outcomes.append("not-controlled")
+        except Exception:  # pragma: no cover - only on regression
+            outcomes.append("other")
+
+    threads = [
+        threading.Thread(target=hammer_uncontrolled) for _ in range(workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert outcomes == ["not-controlled"] * workers
+    # The failed flight left no entry behind: a later probe retries.
+    assert engine.cache_stats().size <= 1
+
+
 def test_cache_stats_count_invalidations(engine):
     engine.execute(NYC_FRIENDS, p=1)
     engine.access = ACCESS_TEXT  # replacing the access schema invalidates
@@ -459,9 +531,10 @@ def test_stale_plans_cached_in_flight_are_never_served_after_access_change(engin
     q = engine.query(NYC_FRIENDS)
     params = frozenset({Variable("p")})
     old_version, _ = engine._access_state
+    views_version = engine.views.version
     stale_plans = engine._plans_for(q.query, params)
     engine.access = "friend(pid1 -> 7); friend(pid2 -> 7); person(pid -> 1)"
-    engine._cache.put((old_version, q.query, params), stale_plans)
+    engine._cache.put((old_version, views_version, q.query, params), stale_plans)
     assert q.execute(p=1).fanout_bound == 7 + 7 * 1  # not the stale 5005
 
 

@@ -232,3 +232,42 @@ class TestChangeLog:
             db.change_log.entries_since(-1)
         with pytest.raises(ValueError):
             db.change_log.append("x", "friend", (1, 2))
+
+    def test_net_since_evicts_lru_not_wholesale(self, social_schema):
+        # A hot slice (re-read between cold probes) must survive however
+        # many cold watermarks other readers touch: eviction is LRU, not
+        # a wholesale clear() of every shared memo.
+        from repro.relational.instance import SLICE_CACHE_SIZE
+
+        db = Database(social_schema)
+        for i in range(SLICE_CACHE_SIZE * 3):
+            db.add("friend", (i, i + 1))
+        log = db.change_log
+        hot = log.net_since(0)
+        for cold in range(1, 2 * SLICE_CACHE_SIZE):
+            log.net_since(cold)  # cold watermarks, each a distinct slice
+            assert log.net_since(0) is hot  # the hot memo survived
+
+    def test_net_since_cache_is_bounded(self, social_schema):
+        from repro.relational.instance import SLICE_CACHE_SIZE
+
+        db = Database(social_schema)
+        for i in range(SLICE_CACHE_SIZE * 3):
+            db.add("friend", (i, i + 1))
+        log = db.change_log
+        for w in range(SLICE_CACHE_SIZE * 2):
+            log.net_since(w)
+        assert len(log._net_cache) == SLICE_CACHE_SIZE
+
+    def test_slice_caches_evict_lru_not_wholesale(self, social_schema):
+        from repro.relational.instance import SLICE_CACHE_SIZE
+
+        db = Database(social_schema)
+        for i in range(SLICE_CACHE_SIZE * 3):
+            db.add("friend", (i, i + 1))
+        log = db.change_log
+        hot = log.slice_caches(0)
+        for cold in range(1, 2 * SLICE_CACHE_SIZE):
+            log.slice_caches(cold)
+            assert log.slice_caches(0) is hot
+        assert len(log._slice_caches) <= SLICE_CACHE_SIZE
