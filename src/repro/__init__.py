@@ -33,6 +33,13 @@ The package is organised as follows:
   running queries Q1/Q2/Q3 (and the view-unlocked Q4/Q5) as ready-made
   bundles, the workload views V1/V2, and seeded churn streams
   (insert/delete batches honoring the degree caps).
+* :mod:`repro.analysis` -- compiler-style static diagnostics (also
+  ``python -m repro.analysis``): stable codes with severities and
+  1-based source spans threaded from the parser, pass families over
+  queries (QRY), access schemas (ACC), compiled plans (PLN) and views
+  (VIW), surfaced as ``prepared.diagnostics()`` / ``engine.analyze()``,
+  a lint CLI with ``--strict``, and the CI gate keeping the Q1-Q5
+  workload bundles warning-clean.
 * :mod:`repro.bench` -- the experiment harness (also ``python -m
   repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
   fanout bound, refresh-vs-recompute under churn, view-assisted vs
@@ -53,7 +60,17 @@ from repro.errors import (
     UpdateError,
 )
 from repro.logic.terms import Constant, Variable
-from repro.logic.ast import Atom, Equality, And, Or, Not, Exists, Forall, Implies
+from repro.logic.ast import (
+    Atom,
+    Equality,
+    And,
+    Or,
+    Not,
+    Exists,
+    Forall,
+    Implies,
+    Span,
+)
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.ucq import UnionOfConjunctiveQueries
 from repro.logic.fo import FirstOrderQuery
@@ -91,12 +108,13 @@ from repro.core.executor import (
     execute_plan_delta,
     profile_plan,
 )
-from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
+from repro.core.plans import FetchStep, Plan, ProbeStep, StepCost, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
 from repro.views import ViewDef, ViewSet, ViewState
 from repro.api import CacheStats, Engine, ExplainAnalyze, PreparedQuery, ResultSet
 from repro.incremental import IncrementalResult
+from repro.analysis import Diagnostic, Report, Severity
 
 __all__ = [
     # errors
@@ -119,6 +137,7 @@ __all__ = [
     "Exists",
     "Forall",
     "Implies",
+    "Span",
     # queries and parsing
     "ConjunctiveQuery",
     "UnionOfConjunctiveQueries",
@@ -148,6 +167,7 @@ __all__ = [
     "Plan",
     "FetchStep",
     "ProbeStep",
+    "StepCost",
     "compile_plan",
     # the physical executor
     "ExecutionContext",
@@ -182,6 +202,10 @@ __all__ = [
     "ResultSet",
     "ExplainAnalyze",
     "CacheStats",
+    # static analysis
+    "Severity",
+    "Diagnostic",
+    "Report",
 ]
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

@@ -1,0 +1,192 @@
+"""Static analysis and diagnostics for the scale-independence pipeline.
+
+The paper's premise (Sections 3-4, 6) is that query cost and
+controllability are *statically* decidable from the query, the access
+rules and the view definitions.  This package turns that theory into
+compiler-style tooling: a diagnostic framework
+(:mod:`repro.analysis.diagnostics` -- stable codes, severities, 1-based
+source spans threaded from the tokenizer through the AST) plus one pass
+family per analyzable object:
+
+* :func:`analyze_query` (QRY001-QRY006) -- single-use variables,
+  cartesian products, parameters equated away, duplicate atoms,
+  mismatched union selectivity, unsatisfiability;
+* :func:`analyze_access` (ACC001-ACC004) -- ruleless relations,
+  shadowed rules, absurd bounds, duplicates;
+* :func:`analyze_plan` (PLN001-PLN003) -- fanout-bound blowups with the
+  multiplicative per-level breakdown, probe-after-embedded-fetch fusion
+  opportunities, dominant steps;
+* :func:`analyze_views` / :func:`advise_covering_view`
+  (VIW001-VIW003) -- unmatched and overlapping views, and concrete
+  covering-view proposals for uncontrolled queries.
+
+Three surfaces:
+
+* the API -- ``engine.analyze(queries)`` /
+  ``prepared.diagnostics(parameters)`` (thin wrappers over
+  :func:`analyze_engine` / :func:`analyze_prepared`);
+* the CLI -- ``python -m repro.analysis`` lints query files against an
+  optional schema/access pair and exits nonzero at the chosen severity
+  floor (``--strict`` fails on warnings);
+* CI -- the workflow runs ``python -m repro.analysis --workload
+  --strict`` so the Q1-Q5 bundles (:func:`workload_report`) stay
+  diagnostic-clean at warning level.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.access import ABSURD_BOUND, analyze_access
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    Report,
+    Severity,
+    diagnostic,
+    register_code,
+)
+from repro.analysis.plans import (
+    BLOWUP_THRESHOLD,
+    DOMINANCE_RATIO,
+    analyze_plan,
+)
+from repro.analysis.queries import SELECTIVITY_RATIO, analyze_query
+from repro.analysis.views import (
+    DEFAULT_ADVISED_BOUND,
+    advise_covering_view,
+    analyze_views,
+)
+from repro.errors import NotControlledError
+from repro.logic.cq import ConjunctiveQuery
+
+if TYPE_CHECKING:
+    from repro.api.engine import Engine, PreparedQuery
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Report",
+    "CodeInfo",
+    "CODES",
+    "register_code",
+    "diagnostic",
+    "analyze_query",
+    "analyze_access",
+    "analyze_plan",
+    "analyze_views",
+    "advise_covering_view",
+    "analyze_prepared",
+    "analyze_engine",
+    "workload_report",
+    "ABSURD_BOUND",
+    "BLOWUP_THRESHOLD",
+    "DOMINANCE_RATIO",
+    "SELECTIVITY_RATIO",
+    "DEFAULT_ADVISED_BOUND",
+]
+
+
+def analyze_prepared(
+    prepared: "PreparedQuery",
+    parameters: Iterable[object] = (),
+    *,
+    source: str | None = None,
+) -> Report:
+    """Every applicable pass for one prepared query: the QRY passes, then
+    -- when the query compiles under the engine's access schema (views
+    included) -- the PLN passes on each plan; when it does not compile,
+    the VIW003 covering-view advisor instead."""
+    engine = prepared._engine
+    parameters = tuple(parameters)
+    report = analyze_query(
+        prepared.query, engine.access, parameters, source=source
+    )
+    try:
+        plans = prepared.plan(parameters)
+    except NotControlledError:
+        if isinstance(prepared.query, ConjunctiveQuery):
+            disjuncts: tuple[ConjunctiveQuery, ...] = (prepared.query,)
+        else:
+            disjuncts = prepared.query.disjuncts
+        for disjunct in disjuncts:
+            report.extend(
+                advise_covering_view(
+                    disjunct, engine.access, parameters, source=source
+                )
+            )
+        return report
+    if not isinstance(plans, tuple):
+        plans = (plans,)
+    for plan in plans:
+        report.extend(analyze_plan(plan, source=source))
+    return report
+
+
+def analyze_engine(
+    engine: "Engine",
+    queries: Iterable[object] = (),
+    *,
+    source: str | None = None,
+) -> Report:
+    """The whole-engine report: the ACC passes over the access schema,
+    the VIW passes over the registered views (VIW001 only when
+    ``queries`` describe the workload), and :func:`analyze_prepared` per
+    query.
+
+    Each element of ``queries`` is query text, a query object, a
+    ``PreparedQuery``, or a ``(query, parameters)`` pair.
+    """
+    report = analyze_access(engine.access, source=source)
+    prepared_queries: list[tuple["PreparedQuery", tuple]] = []
+    for entry in queries:
+        params: tuple = ()
+        if isinstance(entry, tuple):
+            entry, params = entry
+            params = tuple(params)
+        prepared = entry if hasattr(entry, "diagnostics") else engine.query(entry)
+        prepared_queries.append((prepared, params))
+    report.extend(
+        analyze_views(
+            engine.views.definitions(),
+            tuple(p.query for p, _ in prepared_queries),
+            source=source,
+        )
+    )
+    for prepared, params in prepared_queries:
+        report.extend(analyze_prepared(prepared, params, source=source))
+    return report
+
+
+def workload_report() -> Report:
+    """The repo's own gate: analyze the Q1-Q5 workload bundles (views
+    V1/V2 registered, so Q4/Q5 compile) plus the social access schema
+    and the view registry.  CI runs this via ``python -m repro.analysis
+    --workload --strict`` and fails on any warning."""
+    from repro.workloads import (
+        RUNNING_QUERIES,
+        VIEW_QUERIES,
+        register_workload_views,
+    )
+
+    report = Report()
+    bundles = RUNNING_QUERIES + VIEW_QUERIES
+    engine = bundles[0].engine()
+    register_workload_views(engine)
+    report.extend(analyze_access(engine.access, source="social"))
+    prepared = {b.name: b.prepare(engine) for b in bundles}
+    report.extend(
+        analyze_views(
+            engine.views.definitions(),
+            tuple(p.query for p in prepared.values()),
+            source="views",
+        )
+    )
+    for bundle in bundles:
+        report.extend(
+            analyze_prepared(
+                prepared[bundle.name], bundle.parameters, source=bundle.name
+            )
+        )
+    return report

@@ -1,0 +1,224 @@
+"""The ``python -m repro.analysis`` linter.
+
+Lints query files (one query per non-comment line; ``#`` comments and
+blank lines are skipped) against an optional schema / access-rule pair,
+plus the access rules themselves and the repo's own workload bundles::
+
+    # every query in queries.dl, schema-validated and analyzed
+    python -m repro.analysis queries.dl --schema schema.dl
+
+    # plan-level passes too: compile under the access rules, advise
+    # covering views for uncontrolled queries
+    python -m repro.analysis queries.dl --schema schema.dl \\
+        --access "friend(pid1 -> 32)" --params p
+
+    # the CI gate: the Q1-Q5 workload bundles must be warning-clean
+    python -m repro.analysis --workload --strict
+
+    # the code table
+    python -m repro.analysis --codes
+
+Exit status is 0 when the report stays below the failure floor --
+errors by default, warnings under ``--strict`` -- and 1 otherwise.
+Unparseable input surfaces as **SYN001** (error), so syntax problems
+fail even without ``--strict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import (
+    CODES,
+    Report,
+    Severity,
+    advise_covering_view,
+    analyze_access,
+    analyze_plan,
+    analyze_query,
+    diagnostic,
+    workload_report,
+)
+from repro.core.access_schema import AccessSchema
+from repro.core.plans import compile_plan
+from repro.errors import NotControlledError, ParseError, ReproError
+from repro.logic.ast import Span, _as_variable
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.parser import parse_query
+from repro.relational.schema import DatabaseSchema
+
+
+def _text_or_path(value: str) -> str:
+    """DSL text, or the contents of the file it names."""
+    try:
+        path = Path(value)
+        if path.is_file():
+            return path.read_text()
+    except OSError:
+        pass
+    return value
+
+
+def _lint_file(
+    filename: str,
+    schema: DatabaseSchema | None,
+    access: AccessSchema | None,
+    params: Sequence[str],
+    report: Report,
+) -> None:
+    try:
+        text = Path(filename).read_text()
+    except OSError as exc:
+        report.add(
+            diagnostic("SYN001", f"cannot read file: {exc}", source=filename)
+        )
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        shift = lineno - 1
+        try:
+            query = parse_query(line, schema=schema)
+        except ParseError as exc:
+            column = exc.column if exc.column is not None else 1
+            span = Span(lineno, column, lineno, column)
+            # The span carries the (shifted) coordinates; drop the
+            # parser's own one-line-relative "(line 1, column C)" tail.
+            message = re.sub(r" \(line \d+(?:, column \d+)?\)$", "", str(exc))
+            report.add(
+                diagnostic("SYN001", message, span=span, source=filename)
+            )
+            continue
+        except ReproError as exc:  # schema validation (SchemaError, ...)
+            span = Span(lineno, 1, lineno, max(len(line.rstrip()), 1))
+            report.add(
+                diagnostic("SYN001", str(exc), span=span, source=filename)
+            )
+            continue
+        for diag in analyze_query(query, access, _usable(params, query), source=filename):
+            report.add(diag.shifted(shift))
+        if access is None:
+            continue
+        disjuncts = (
+            (query,) if isinstance(query, ConjunctiveQuery) else query.disjuncts
+        )
+        for disjunct in disjuncts:
+            usable = _usable(params, disjunct)
+            try:
+                plan = compile_plan(disjunct, access, usable)
+            except NotControlledError:
+                for diag in advise_covering_view(
+                    disjunct, access, usable, source=filename
+                ):
+                    report.add(diag.shifted(shift))
+            except ReproError:
+                continue  # already reported (or out of scope) above
+            else:
+                for diag in analyze_plan(plan, source=filename):
+                    report.add(diag.shifted(shift))
+
+
+def _usable(params: Sequence[str], query) -> tuple[str, ...]:
+    """The declared parameters that actually occur in ``query`` -- a file
+    of heterogeneous queries shares one ``--params`` list, so missing
+    occurrences are normal, not an error."""
+    if isinstance(query, ConjunctiveQuery):
+        variables = set(query.variables())
+    else:
+        variables = {v for d in query.disjuncts for v in d.variables()}
+    return tuple(p for p in params if _as_variable(p) in variables)
+
+
+def _print_codes() -> None:
+    width = max(len(info.title) for info in CODES.values())
+    for code in sorted(CODES):
+        info = CODES[code]
+        print(f"{info.code}  {str(info.severity):<7}  {info.title.ljust(width)}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze queries, access schemas and the "
+        "built-in workload bundles.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="query files to lint (one query per non-comment line)",
+    )
+    parser.add_argument(
+        "--schema",
+        help="database schema: DSL text or a file containing it",
+    )
+    parser.add_argument(
+        "--access",
+        help="access rules (requires --schema): DSL text or a file",
+    )
+    parser.add_argument(
+        "--params",
+        default="",
+        help="comma-separated parameter names supplied at execution time",
+    )
+    parser.add_argument(
+        "--workload",
+        action="store_true",
+        help="analyze the built-in Q1-Q5 workload bundles (the CI gate)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings, not just errors",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        _print_codes()
+        return 0
+    if args.access and not args.schema:
+        parser.error("--access requires --schema")
+    if not args.files and not args.workload:
+        parser.error("nothing to analyze: pass query files or --workload")
+
+    report = Report()
+    schema: DatabaseSchema | None = None
+    access: AccessSchema | None = None
+    if args.schema:
+        try:
+            schema = DatabaseSchema.parse(_text_or_path(args.schema))
+        except ReproError as exc:
+            report.add(diagnostic("SYN001", str(exc), source="--schema"))
+    if args.access and schema is not None:
+        try:
+            access = AccessSchema.parse(schema, _text_or_path(args.access))
+        except ReproError as exc:
+            report.add(diagnostic("SYN001", str(exc), source="--access"))
+        else:
+            report.extend(analyze_access(access, source="--access"))
+
+    if args.workload:
+        report.extend(workload_report())
+
+    params = tuple(p.strip() for p in args.params.split(",") if p.strip())
+    for filename in args.files:
+        _lint_file(filename, schema, access, params, report)
+
+    if report:
+        print(report.render())
+    print(report.summary())
+    fail_on = Severity.WARNING if args.strict else Severity.ERROR
+    return 0 if report.ok(fail_on) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

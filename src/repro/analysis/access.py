@@ -1,0 +1,107 @@
+"""Static analysis of access schemas: the ACC pass family.
+
+The access schema is the paper's contract with the deployment -- every
+scale-independent plan is built from its rules, so a dead, shadowed or
+untruthful rule silently changes what is answerable.  :func:`analyze_access`
+checks:
+
+* **ACC001** (hint) -- a relation with no access rules at all: no plan
+  can ever fetch it, so every query over it needs the relation fully
+  bound by other atoms or is simply not controlled.
+* **ACC002** (warning) -- a rule *shadowed* by a strictly cheaper one:
+  whenever the shadowed rule is applicable the other rule is too, binds
+  at least as much, verifies at least as much, and touches no more
+  tuples -- the planner (which scores by ``(bound, -inputs)``) never has
+  a reason to prefer the shadowed rule.
+* **ACC003** (warning) -- a cardinality bound of
+  :data:`ABSURD_BOUND` or more: technically still "bounded", but a
+  promise that large certifies nothing a deployment would call scale
+  independent.
+* **ACC004** (warning) -- the same rule declared twice (the registry
+  keeps both; the duplicate is dead weight).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report, diagnostic
+from repro.core.access_schema import AccessRule, AccessSchema
+
+#: ACC003 fires at this bound: a rule promising a million tuples per
+#: access is indistinguishable from an unbounded scan in practice.
+ABSURD_BOUND = 1_000_000
+
+
+def analyze_access(access: AccessSchema, *, source: str | None = None) -> Report:
+    """Run the ACC passes over ``access`` and return the :class:`Report`."""
+    report = Report()
+    for name in access.schema.names:
+        rules = access.rules_for(name)
+        if not rules:
+            report.add(
+                diagnostic(
+                    "ACC001",
+                    f"relation {name!r} has no access rules: no plan can "
+                    f"fetch it, so queries over it are only controlled "
+                    f"when every position is bound elsewhere",
+                    source=source,
+                )
+            )
+            continue
+        rel = access.schema.relation(name)
+        for i, rule in enumerate(rules):
+            if rule.bound >= ABSURD_BOUND:
+                report.add(
+                    diagnostic(
+                        "ACC003",
+                        f"rule {rule} promises up to {rule.bound} tuples "
+                        f"per access: a bound that large certifies no "
+                        f"practical scale independence -- tighten it or "
+                        f"drop the rule",
+                        source=source,
+                    )
+                )
+            for other in rules[i + 1 :]:
+                if other == rule:
+                    report.add(
+                        diagnostic(
+                            "ACC004",
+                            f"rule {rule} is declared more than once; the "
+                            f"duplicate is dead weight",
+                            source=source,
+                        )
+                    )
+        for rule in rules:
+            shadow = next(
+                (
+                    other
+                    for other in rules
+                    if other != rule and _shadows(other, rule, rel)
+                ),
+                None,
+            )
+            if shadow is not None:
+                report.add(
+                    diagnostic(
+                        "ACC002",
+                        f"rule {rule} is shadowed by {shadow}: whenever it "
+                        f"applies, {shadow} applies too, binds at least as "
+                        f"much and touches no more tuples, so no plan "
+                        f"prefers the shadowed rule -- remove it",
+                        source=source,
+                    )
+                )
+    return report
+
+
+def _shadows(better: AccessRule, worse: AccessRule, rel) -> bool:
+    """Whether ``better`` makes ``worse`` dead: applicable whenever
+    ``worse`` is (inputs are a subset), binding at least as much (bound
+    attributes are a superset), verifying at least as much, for no more
+    accesses.  Ties in every dimension are ACC004's business, not ours
+    (rule inequality is checked by the caller)."""
+    return (
+        set(better.inputs) <= set(worse.inputs)
+        and set(better.bound_attributes(rel)) >= set(worse.bound_attributes(rel))
+        and (better.verifies_atom or not worse.verifies_atom)
+        and better.bound <= worse.bound
+    )

@@ -1,0 +1,238 @@
+"""The diagnostic framework: stable codes, severities, spanned messages.
+
+A :class:`Diagnostic` is one finding of a static-analysis pass: a stable
+``code`` (``QRY001``, ``ACC002``, ...), a :class:`Severity`, a
+human-readable message and -- when the analyzed object was parsed from
+text -- the 1-based source :class:`~repro.logic.ast.Span` the finding
+points at.  Passes collect diagnostics into a :class:`Report`, which
+renders compiler-style lines (``source:line:col: CODE severity:
+message``) and decides pass/fail for a chosen severity floor
+(:meth:`Report.ok`), which is what ``python -m repro.analysis --strict``
+exits on.
+
+Every shipped code is registered in :data:`CODES` via
+:func:`register_code`, carrying its default severity and a one-line
+title; :func:`diagnostic` builds a :class:`Diagnostic` from a registered
+code so passes cannot emit unregistered or misspelled codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import IntEnum
+from typing import Iterable, Iterator
+
+from repro.logic.ast import Span
+
+
+class Severity(IntEnum):
+    """How bad a finding is; ordered so severity floors compare with >=."""
+
+    HINT = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                + ", ".join(s.name.lower() for s in cls)
+            ) from None
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One registered diagnostic code: its default severity and title."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+#: Every registered diagnostic code, keyed by the code string.
+CODES: dict[str, CodeInfo] = {}
+
+
+def register_code(code: str, severity: Severity, title: str) -> CodeInfo:
+    """Register a diagnostic code (``AAA000`` shape) with its default
+    severity and one-line title.  Re-registering an existing code raises:
+    codes are stable identifiers users grep changelogs for."""
+    if len(code) != 6 or not code[:3].isalpha() or not code[:3].isupper() or not code[3:].isdigit():
+        raise ValueError(
+            f"diagnostic code must be three uppercase letters followed by "
+            f"three digits, got {code!r}"
+        )
+    if code in CODES:
+        raise ValueError(f"diagnostic code {code!r} is already registered")
+    info = CodeInfo(code, Severity(severity), title)
+    CODES[code] = info
+    return info
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a registered code, a message, a severity and -- for
+    parsed sources -- the :class:`~repro.logic.ast.Span` and a ``source``
+    label (file name, bundle name, ...) to anchor it."""
+
+    code: str
+    message: str
+    severity: Severity
+    span: Span | None = None
+    source: str | None = None
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.source is not None and self.span is not None:
+            prefix = f"{self.source}:{self.span.line}:{self.span.column}: "
+        elif self.source is not None:
+            prefix = f"{self.source}: "
+        elif self.span is not None:
+            prefix = f"{self.span.line}:{self.span.column}: "
+        return f"{prefix}{self.code} {self.severity}: {self.message}"
+
+    def shifted(self, lines: int) -> "Diagnostic":
+        """The same diagnostic with its span moved down ``lines`` lines --
+        how the CLI maps spans of individually parsed lines back to file
+        coordinates."""
+        if self.span is None or not lines:
+            return self
+        span = Span(
+            self.span.line + lines,
+            self.span.column,
+            self.span.end_line + lines,
+            self.span.end_column,
+        )
+        return replace(self, span=span)
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    *,
+    span: Span | None = None,
+    source: str | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """A :class:`Diagnostic` for a registered ``code``; the severity
+    defaults to the code's registered one."""
+    info = CODES.get(code)
+    if info is None:
+        raise ValueError(f"unregistered diagnostic code {code!r}")
+    return Diagnostic(
+        code, message, info.severity if severity is None else Severity(severity),
+        span, source,
+    )
+
+
+class Report:
+    """An ordered collection of diagnostics with severity roll-ups."""
+
+    __slots__ = ("_diagnostics",)
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self._diagnostics: list[Diagnostic] = list(diagnostics)
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    def add(self, diag: Diagnostic) -> None:
+        if not isinstance(diag, Diagnostic):
+            raise TypeError(f"{diag!r} is not a Diagnostic")
+        self._diagnostics.append(diag)
+
+    def extend(self, diagnostics: "Iterable[Diagnostic] | Report") -> "Report":
+        for diag in diagnostics:
+            self.add(diag)
+        return self
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    def __repr__(self) -> str:
+        return f"Report({self.summary()})"
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.code == code)
+
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity >= severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self._diagnostics if d.severity == Severity.WARNING
+        )
+
+    @property
+    def hints(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == Severity.HINT)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        return max((d.severity for d in self._diagnostics), default=None)
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True iff no diagnostic reaches the ``fail_on`` severity floor."""
+        return not self.at_least(fail_on)
+
+    def render(self) -> str:
+        """One compiler-style line per diagnostic, in emission order."""
+        return "\n".join(str(d) for d in self._diagnostics)
+
+    def summary(self) -> str:
+        """``"2 errors, 1 warning, 3 hints"`` (zero buckets omitted)."""
+        counts = [
+            (len(self.errors), "error"),
+            (len(self.warnings), "warning"),
+            (len(self.hints), "hint"),
+        ]
+        parts = [f"{n} {word}{'s' if n != 1 else ''}" for n, word in counts if n]
+        return ", ".join(parts) if parts else "no diagnostics"
+
+
+# -- the shipped codes ----------------------------------------------------
+
+# Queries (repro.analysis.queries)
+register_code("QRY001", Severity.HINT, "variable used only once")
+register_code("QRY002", Severity.WARNING, "cartesian product between body atoms")
+register_code("QRY003", Severity.WARNING, "parameter equated away by the query")
+register_code("QRY004", Severity.WARNING, "duplicate body atom")
+register_code("QRY005", Severity.WARNING, "union branches with mismatched access cost")
+register_code("QRY006", Severity.WARNING, "query is unsatisfiable")
+
+# Access schemas (repro.analysis.access)
+register_code("ACC001", Severity.HINT, "relation has no access rules")
+register_code("ACC002", Severity.WARNING, "access rule shadowed by a cheaper rule")
+register_code("ACC003", Severity.WARNING, "absurdly large cardinality bound")
+register_code("ACC004", Severity.WARNING, "duplicate access rule")
+
+# Plans (repro.analysis.plans)
+register_code("PLN001", Severity.WARNING, "fanout bound blowup")
+register_code("PLN002", Severity.HINT, "probe after embedded fetch is fusable")
+register_code("PLN003", Severity.HINT, "one step dominates the access bound")
+
+# Views (repro.analysis.views)
+register_code("VIW001", Severity.WARNING, "view matches no workload query")
+register_code("VIW002", Severity.HINT, "views with equivalent bodies overlap")
+register_code("VIW003", Severity.HINT, "covering view would control the query")
+
+# Syntax (the CLI front end)
+register_code("SYN001", Severity.ERROR, "syntax or validation error")

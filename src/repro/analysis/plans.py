@@ -1,0 +1,99 @@
+"""Static analysis of compiled plans: the PLN pass family.
+
+A compiled :class:`~repro.core.plans.Plan` carries everything the
+analyzer needs in :meth:`~repro.core.plans.Plan.step_costs`: per-step
+worst-case access estimates whose sum is the plan's ``fanout_bound``.
+:func:`analyze_plan` turns those numbers into findings:
+
+* **PLN001** (warning) -- the fanout bound exceeds
+  :data:`BLOWUP_THRESHOLD`: the plan is still scale independent, but the
+  multiplicative fan-out of its fetch chain (rendered level by level in
+  the message) makes "bounded" an empty promise.
+* **PLN002** (hint) -- a probe that re-checks an atom already fetched
+  through an embedded access rule: fusing the membership check into the
+  fetch (or declaring a plain rule) would remove one pass per branch
+  (ROADMAP item 3, Filter-after-Fetch fusion).
+* **PLN003** (hint) -- one step accounts for :data:`DOMINANCE_RATIO` or
+  more of the whole bound: the place to spend tuning effort.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report, diagnostic
+from repro.core.plans import FetchStep, Plan, ProbeStep
+
+#: PLN001 fires when a plan's fanout bound exceeds this many tuples.
+BLOWUP_THRESHOLD = 100_000
+
+#: PLN003 fires when one step's accesses reach this share of the bound.
+DOMINANCE_RATIO = 0.9
+
+
+def analyze_plan(plan: Plan, *, source: str | None = None) -> Report:
+    """Run the PLN passes over ``plan`` and return the :class:`Report`."""
+    report = Report()
+    costs = plan.step_costs()
+    if not costs:
+        return report
+    total = plan.fanout_bound
+
+    if total > BLOWUP_THRESHOLD:
+        factors = ["1"]
+        for cost in costs:
+            if isinstance(cost.step, FetchStep):
+                factors.append(
+                    f"{cost.step.rule.bound} ({cost.step.atom.relation})"
+                )
+        report.add(
+            diagnostic(
+                "PLN001",
+                f"plan may access up to {total} tuples (threshold "
+                f"{BLOWUP_THRESHOLD}): branch fan-out multiplies as "
+                f"{' x '.join(factors)} -- tighten a rule bound, add a "
+                f"more selective access path, or parameterize another "
+                f"variable",
+                span=costs[0].step.atom.span,
+                source=source,
+            )
+        )
+
+    embedded_fetched: dict = {}
+    for cost in costs:
+        step = cost.step
+        if isinstance(step, FetchStep) and not step.rule.verifies_atom:
+            embedded_fetched[step.atom] = step
+    for i, cost in enumerate(costs, 1):
+        step = cost.step
+        if isinstance(step, ProbeStep) and step.atom in embedded_fetched:
+            fetch = embedded_fetched[step.atom]
+            report.add(
+                diagnostic(
+                    "PLN002",
+                    f"step {i} probes {step.atom} although the atom was "
+                    f"already fetched through the embedded rule "
+                    f"{fetch.rule}: fusing the membership check into the "
+                    f"fetch -- or declaring a plain rule on "
+                    f"{step.atom.relation!r} -- would save "
+                    f"{cost.accesses} probe accesses per execution",
+                    span=step.atom.span,
+                    source=source,
+                )
+            )
+
+    if len(costs) > 1 and total > 0:
+        worst = max(costs, key=lambda c: c.accesses)
+        if worst.accesses >= DOMINANCE_RATIO * total:
+            index = costs.index(worst) + 1
+            report.add(
+                diagnostic(
+                    "PLN003",
+                    f"step {index} ({worst.step}) accounts for "
+                    f"{worst.accesses} of the {total}-tuple access bound "
+                    f"({worst.accesses * 100 // total}%): a tighter rule "
+                    f"on {worst.step.atom.relation!r} would shrink the "
+                    f"whole plan",
+                    span=worst.step.atom.span,
+                    source=source,
+                )
+            )
+    return report

@@ -1,0 +1,165 @@
+"""Static analysis of registered views: the VIW pass family.
+
+Views are the paper's Section 6 escape hatch -- and an easy place to
+accumulate dead weight.  :func:`analyze_views` checks a registry against
+a workload:
+
+* **VIW001** (warning) -- a view whose body maps into no workload
+  query's body (via :func:`~repro.logic.homomorphism.body_homomorphisms`,
+  the exact matching test the rewriter uses): the view is materialized
+  and maintained but can never contribute an implied atom to any of the
+  given queries.
+* **VIW002** (hint) -- two views with homomorphically equivalent bodies:
+  they materialize overlapping answers; one registry entry, one
+  maintenance stream and one set of access rules would do.
+
+:func:`advise_covering_view` is the advisor seed (ROADMAP item 5): given
+a query that is *not* controlled, it reruns the controllability fixpoint
+(:func:`~repro.core.controllability.coverage`), finds a body atom with
+bound inputs but unreachable variables, and proposes a concrete covering
+view -- definition text plus access rule, modeled on the workload views
+V1/V2 -- as a **VIW003** hint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Report, diagnostic
+from repro.core.access_schema import AccessSchema
+from repro.core.controllability import coverage
+from repro.logic.ast import Atom, _as_variable
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.homomorphism import body_homomorphisms
+from repro.logic.terms import Variable
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.views import ViewDef
+
+Query = ConjunctiveQuery | UnionOfConjunctiveQueries
+
+#: The cardinality bound VIW003 proposes for an advised view's access
+#: rule -- the same in-degree promise the workload views V1/V2 declare.
+DEFAULT_ADVISED_BOUND = 64
+
+
+def _bodies(query: Query) -> tuple[tuple[Atom, ...], ...]:
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return tuple(
+            d.normalized_body() or d.body for d in query.disjuncts
+        )
+    return (query.normalized_body() or query.body,)
+
+
+def analyze_views(
+    views: Iterable[ViewDef],
+    queries: Iterable[Query] = (),
+    *,
+    source: str | None = None,
+) -> Report:
+    """Run VIW001/VIW002 over ``views`` (against the workload ``queries``
+    for VIW001; with no queries given, only the overlap check runs)."""
+    report = Report()
+    views = tuple(views)
+    query_bodies = [body for q in queries for body in _bodies(q)]
+    if query_bodies:
+        for view in views:
+            body = view.query.normalized_body() or view.query.body
+            matched = any(
+                next(body_homomorphisms(body, target), None) is not None
+                for target in query_bodies
+            )
+            if not matched:
+                report.add(
+                    diagnostic(
+                        "VIW001",
+                        f"view {view.name!r} ({view}) matches none of the "
+                        f"{len(query_bodies)} workload quer"
+                        f"{'y' if len(query_bodies) == 1 else 'ies'}: its "
+                        f"body maps into no query body, so the rewriter "
+                        f"can never use it -- drop the view or revisit "
+                        f"the workload",
+                        source=source,
+                    )
+                )
+    for i, view in enumerate(views):
+        vbody = view.query.normalized_body() or view.query.body
+        for other in views[i + 1 :]:
+            obody = other.query.normalized_body() or other.query.body
+            forward = next(body_homomorphisms(vbody, obody), None)
+            backward = next(body_homomorphisms(obody, vbody), None)
+            if forward is not None and backward is not None:
+                report.add(
+                    diagnostic(
+                        "VIW002",
+                        f"views {view.name!r} and {other.name!r} have "
+                        f"homomorphically equivalent bodies: they "
+                        f"materialize overlapping answers and pay double "
+                        f"maintenance -- consider keeping one",
+                        source=source,
+                    )
+                )
+    return report
+
+
+def advise_covering_view(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    parameters: Iterable[object] = (),
+    *,
+    source: str | None = None,
+) -> Report:
+    """Propose a covering view (VIW003) for an uncontrolled query.
+
+    Reruns the controllability fixpoint; if the query is already
+    controlled the report is empty.  Otherwise the first body atom that
+    has at least one reachable variable (a join key the view can be
+    accessed by) and at least one unreachable variable yields a concrete
+    proposal: an inverted-index view over that atom, keyed on the
+    reachable variables, with a
+    :data:`DEFAULT_ADVISED_BOUND`-tuple access rule.
+    """
+    report = Report()
+    params = tuple(dict.fromkeys(_as_variable(p) for p in parameters))
+    cov = coverage(query, access, params)
+    if cov.controlled:
+        return report
+    body = query.normalized_body() or query.body
+    for atom in body:
+        key_vars = _distinct(
+            t for t in atom.terms if isinstance(t, Variable) and t in cov.bound
+        )
+        missing = _distinct(
+            t
+            for t in atom.terms
+            if isinstance(t, Variable) and t not in cov.bound
+        )
+        if not key_vars or not missing:
+            continue
+        name = f"V_{atom.relation}"
+        head = key_vars + missing
+        definition = (
+            f"{name}({', '.join(f'?{v}' for v in head)}) :- {atom}"
+        )
+        rule = f"{name}({', '.join(v.name for v in key_vars)} -> {DEFAULT_ADVISED_BOUND})"
+        unreachable = ", ".join(f"?{v}" for v in cov.uncovered) or "none"
+        given = ", ".join(f"?{v}" for v in params) or "no parameters"
+        report.add(
+            diagnostic(
+                "VIW003",
+                f"query is not controlled by ({given}); unreachable "
+                f"variables: {unreachable}.  A covering view would make "
+                f"it scale independent (Section 6): register "
+                f"\"{definition}\" with access rule \"{rule}\" and adjust "
+                f"the bound to the true in-degree promise",
+                span=atom.span,
+                source=source,
+            )
+        )
+        return report
+    # No atom offers a usable join key: naming the uncovered variables is
+    # NotControlledError's job, so stay silent here.
+    return report
+
+
+def _distinct(items) -> tuple[Variable, ...]:
+    return tuple(dict.fromkeys(items))

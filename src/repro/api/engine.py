@@ -358,6 +358,16 @@ class PreparedQuery:
         result = ResultSet(rows, self.columns, ctx.stats, fanout)
         return ExplainAnalyze(result, tuple(profiles))
 
+    def diagnostics(self, parameters: Iterable[object] = ()):
+        """Statically analyze this query under the engine's access schema
+        (:mod:`repro.analysis`): the QRY query passes, the PLN plan
+        passes when the query compiles (views included), and a VIW003
+        covering-view proposal when it does not.  Returns a
+        :class:`repro.analysis.Report`; nothing executes."""
+        from repro.analysis import analyze_prepared
+
+        return analyze_prepared(self, parameters)
+
     def _check_parameters(self, parameters: frozenset[Variable]) -> None:
         """Reject parameter variables that do not occur in the query (in
         every disjunct, for a union) -- the same check that
@@ -564,6 +574,17 @@ class Engine:
         """One-shot convenience: ``engine.query(q).explain_analyze(...)`` --
         execute and return per-operator row counts plus the result set."""
         return self.query(query).explain_analyze(parameters, **kwargs)
+
+    def analyze(self, queries: Iterable[object] = (), *, source: str | None = None):
+        """Statically analyze the engine (:mod:`repro.analysis`): the ACC
+        passes over the access schema, the VIW passes over the
+        registered views, and every query/plan pass per entry of
+        ``queries`` (query text, query objects, ``PreparedQuery`` objects
+        or ``(query, parameters)`` pairs).  Returns a
+        :class:`repro.analysis.Report`; nothing executes."""
+        from repro.analysis import analyze_engine
+
+        return analyze_engine(self, queries, source=source)
 
     # -- plan cache ------------------------------------------------------
 

@@ -35,6 +35,11 @@ time and stored tuples touched against a from-scratch rematerialization
 after every batch -- refresh must win, and for the single-atom V1/V2 it
 touches zero stored tuples.
 
+Each document also records the static-analysis gate's verdict over the
+workload (:func:`repro.analysis.workload_report` -- diagnostic counts
+and whether Q1-Q5 stay clean at warning level), so a bench trajectory
+whose workload regressed is visible as such.
+
 The results are written to ``BENCH_<n>.json`` (``n`` =
 :data:`BENCH_VERSION`, bumped whenever the measured pipeline changes) so
 the repository accumulates a perf trajectory over time.  CI runs a
@@ -79,7 +84,7 @@ from repro.workloads import (
 
 #: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
 #: pipeline changes materially.
-BENCH_VERSION = 5
+BENCH_VERSION = 6
 
 DEFAULT_SIZES = (100, 1000, 10000)
 
@@ -575,6 +580,12 @@ def run_bench(
             view_records.extend(query_records)
             view_maintenance.extend(maintenance_records)
 
+    # The static-analysis gate's verdict rides along in the trajectory:
+    # a bench run whose workload stopped being diagnostic-clean is
+    # measuring a workload the CI gate would reject.
+    from repro.analysis import Severity, workload_report
+
+    analysis = workload_report()
     doc = {
         "bench_version": BENCH_VERSION,
         "workload": "social",
@@ -598,6 +609,13 @@ def run_bench(
             "maintenance": [asdict(r) for r in view_maintenance],
         },
         "plan_cache": cache_stats,
+        "analysis": {
+            "diagnostics": len(analysis),
+            "errors": len(analysis.errors),
+            "warnings": len(analysis.warnings),
+            "hints": len(analysis.hints),
+            "clean_at_warning": analysis.ok(Severity.WARNING),
+        },
         "summary": summarize(records, churn_records, view_records, view_maintenance),
     }
     if output is not False:

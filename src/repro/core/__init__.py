@@ -29,7 +29,7 @@ from repro.core.executor import (
     execute_plan,
     profile_plan,
 )
-from repro.core.plans import FetchStep, Plan, ProbeStep, compile_plan
+from repro.core.plans import FetchStep, Plan, ProbeStep, StepCost, compile_plan
 from repro.core.qdsi import QDSIResult, decide_qdsi
 from repro.core.qsi import QSIResult, decide_qsi
 
@@ -47,6 +47,7 @@ __all__ = [
     "Plan",
     "FetchStep",
     "ProbeStep",
+    "StepCost",
     "compile_plan",
     "FetchOp",
     "ProbeOp",

@@ -68,7 +68,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
-from repro.core.access_schema import EmbeddedAccessRule
+from repro.core.access_schema import AccessRule, EmbeddedAccessRule
 from repro.core.plans import FetchStep, Plan, ProbeStep
 from repro.errors import IncrementalError, SchemaError
 from repro.logic.ast import Atom, _as_variable
@@ -379,7 +379,11 @@ class FetchOp:
     a repeated new variable must bind consistently across its positions.
     ``dedup_positions`` (embedded rules only) deduplicate the fetched
     output projections per source assignment, matching the rule's
-    "at most N distinct Y-projections" contract.
+    "at most N distinct Y-projections" contract.  ``rule`` is the access
+    rule the originating :class:`~repro.core.plans.FetchStep` fetches
+    through (``None`` for hand-built operators): it plays no part in
+    execution, but lets diagnostics and error messages name the exact
+    rule behind an operator.
     """
 
     atom: Atom
@@ -387,6 +391,7 @@ class FetchOp:
     check_positions: tuple[int, ...]
     bind_positions: tuple[int, ...]
     dedup_positions: tuple[int, ...] | None = None
+    rule: AccessRule | None = None
 
     def __post_init__(self):
         # Pre-resolve every term access so the per-row loops below touch
@@ -500,8 +505,12 @@ class FetchOp:
         # source assignment*, so its derivation count is not a product of
         # per-level multiplicities and signed deltas cannot be exact.
         if self.dedup_positions is not None:
+            rule = f" '{self.rule}'" if self.rule is not None else ""
             raise IncrementalError(
-                f"delta execution does not support embedded-rule fetches: {self}"
+                f"delta execution does not support embedded-rule fetches: "
+                f"relation {self.atom.relation!r} is fetched through embedded "
+                f"access rule{rule} ({self}); declare a plain rule on "
+                f"{self.atom.relation!r} to refresh this query incrementally"
             )
 
     def _extend_signed(self, assignment: Assignment, row: Row) -> Assignment | None:
@@ -806,7 +815,7 @@ def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
             if isinstance(terms[p], Variable) and terms[p] not in bound
         )
         op_type = ViewScanOp if is_view else FetchOp
-        ops.append(op_type(step.atom, key, check, bind, dedup))
+        ops.append(op_type(step.atom, key, check, bind, dedup, step.rule))
         bound.update(step.binds)
     ops.append(ProjectDedupOp(plan.head_terms))
     return tuple(ops)
@@ -1069,9 +1078,12 @@ def check_delta_supported(plan: Plan) -> None:
     for step in plan.steps:
         if isinstance(step, FetchStep) and isinstance(step.rule, EmbeddedAccessRule):
             raise IncrementalError(
-                f"plan step '{step}' fetches through an embedded access "
-                f"rule; incremental (delta) execution supports only plain "
-                f"and full access rules"
+                f"plan step '{step}' fetches relation "
+                f"{step.atom.relation!r} through the embedded access rule "
+                f"'{step.rule}'; incremental (delta) execution supports "
+                f"only plain and full access rules -- declare a plain rule "
+                f"on {step.atom.relation!r} to refresh this query "
+                f"incrementally"
             )
 
 

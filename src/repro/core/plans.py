@@ -76,6 +76,25 @@ class ProbeStep:
 Step = FetchStep | ProbeStep
 
 
+@dataclass(frozen=True)
+class StepCost:
+    """The static worst-case cost estimate of one plan step.
+
+    ``branches_in`` is the number of candidate bindings entering the step
+    (the product of the bounds of the fetches above it), ``accesses`` the
+    tuples the step may touch (``branches_in`` for a probe,
+    ``branches_in * bound`` for a fetch) and ``branches_out`` the bindings
+    leaving it.  Summing ``accesses`` over :meth:`Plan.step_costs` gives
+    exactly :attr:`Plan.fanout_bound` -- the per-level multiplicative
+    breakdown :mod:`repro.analysis` renders in blowup diagnostics.
+    """
+
+    step: Step
+    branches_in: int
+    accesses: int
+    branches_out: int
+
+
 class Plan:
     """A compiled scale-independent plan for a conjunctive query.
 
@@ -135,25 +154,39 @@ class Plan:
         """
         if not self.satisfiable:
             return 0
-        total = 0
+        return sum(cost.accesses for cost in self.step_costs())
+
+    def step_costs(self) -> tuple[StepCost, ...]:
+        """Per-step worst-case cost estimates (see :class:`StepCost`).
+
+        Every fetch multiplies the open branches by its rule's bound and
+        may touch that many tuples; every probe touches one tuple per
+        open branch.  ``sum(c.accesses) == fanout_bound`` by
+        construction.
+        """
+        if not self.satisfiable:
+            return ()
+        costs: list[StepCost] = []
         branches = 1
         for step in self.steps:
             if isinstance(step, ProbeStep):
-                total += branches  # one probe per open branch
+                costs.append(StepCost(step, branches, branches, branches))
                 continue
-            total += branches * step.rule.bound
-            branches *= step.rule.bound
-        return total
+            fanned = branches * step.rule.bound
+            costs.append(StepCost(step, branches, fanned, fanned))
+            branches = fanned
+        return tuple(costs)
 
     def explain(self) -> str:
-        """A human-readable rendering of the plan."""
+        """A human-readable rendering of the plan, with each step's static
+        worst-case access estimate (see :meth:`step_costs`)."""
         lines = []
         params = ", ".join(f"?{v}" for v in self.parameters) or "none"
         lines.append(f"parameters: {params}")
         if not self.satisfiable:
             lines.append("unsatisfiable equalities: the answer is empty")
-        for i, step in enumerate(self.steps, 1):
-            lines.append(f"{i}. {step}")
+        for i, cost in enumerate(self.step_costs(), 1):
+            lines.append(f"{i}. {cost.step}  [<= {cost.accesses} tuples]")
         head = ", ".join(
             str(t) if isinstance(t, Constant) else f"?{t}" for t in self.head_terms
         )

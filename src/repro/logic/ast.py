@@ -16,6 +16,7 @@ negations, e.g. ``Atom("p", ["?x"]) & ~Atom("q", ["?x"])``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import chain
 from typing import Iterable, Iterator, Mapping
 
@@ -27,6 +28,29 @@ from repro.logic.terms import (
     make_term,
     variables_of,
 )
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source range: where a parsed node came from.
+
+    ``line``/``column`` address the first character and ``end_line``/
+    ``end_column`` the last, so a single-token node has ``line ==
+    end_line`` and ``column <= end_column``.  Spans are carried by parsed
+    :class:`Atom` and :class:`Equality` nodes (``None`` on
+    programmatically built ASTs) and deliberately excluded from equality
+    and hashing: two atoms written at different source positions are
+    still the same atom.  :mod:`repro.analysis` threads them into
+    diagnostics so a finding points at real source text.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
 
 
 def _as_variable(value: object) -> Variable:
@@ -108,16 +132,25 @@ def _coerce_mapping(mapping: Mapping[Variable, object]) -> dict[Variable, Term]:
 
 
 class Atom(Formula):
-    """A relational atom ``R(t1, ..., tk)``."""
+    """A relational atom ``R(t1, ..., tk)``.
 
-    __slots__ = ("relation", "terms")
+    ``span`` optionally records where the atom was parsed from
+    (:class:`Span`; ``None`` for programmatically built atoms).  It is
+    not part of ``_fields``, so equality, hashing and ``repr`` are
+    unaffected; :meth:`substitute` preserves it.
+    """
+
+    __slots__ = ("relation", "terms", "span")
     _fields = ("relation", "terms")
 
-    def __init__(self, relation: str, terms: Iterable[object]):
+    def __init__(
+        self, relation: str, terms: Iterable[object], *, span: Span | None = None
+    ):
         if not relation:
             raise ValueError("relation name must be non-empty")
         self.relation = relation
         self.terms = tuple(make_term(t) for t in terms)
+        self.span = span
 
     @property
     def arity(self) -> int:
@@ -131,6 +164,7 @@ class Atom(Formula):
         return Atom(
             self.relation,
             [mapping.get(t, t) if isinstance(t, Variable) else t for t in self.terms],
+            span=self.span,
         )
 
     def atoms(self) -> Iterator["Atom"]:
@@ -144,14 +178,19 @@ class Atom(Formula):
 
 
 class Equality(Formula):
-    """An equality ``t1 = t2`` between two terms."""
+    """An equality ``t1 = t2`` between two terms.
 
-    __slots__ = ("left", "right")
+    Like :class:`Atom`, carries an optional source :class:`Span` that does
+    not participate in equality or hashing.
+    """
+
+    __slots__ = ("left", "right", "span")
     _fields = ("left", "right")
 
-    def __init__(self, left: object, right: object):
+    def __init__(self, left: object, right: object, *, span: Span | None = None):
         self.left = make_term(left)
         self.right = make_term(right)
+        self.span = span
 
     def free_variables(self) -> tuple[Variable, ...]:
         return variables_of((self.left, self.right))
@@ -162,7 +201,7 @@ class Equality(Formula):
         right = (
             mapping.get(self.right, self.right) if isinstance(self.right, Variable) else self.right
         )
-        return Equality(left, right)
+        return Equality(left, right, span=self.span)
 
     def constants(self) -> tuple[Constant, ...]:
         return constants_of((self.left, self.right))

@@ -21,7 +21,12 @@ thereof, in the rule syntax used throughout the literature::
 * ``#`` starts a comment running to the end of the line.
 
 Every syntax error raises :class:`repro.errors.ParseError` carrying the
-1-based line and column of the offending token.  Parsing is the inverse of
+1-based line and column of the offending token.  Parsed atoms and
+equalities additionally retain their source range as
+:class:`repro.logic.ast.Span` (``Atom.span`` / ``Equality.span``;
+``None`` on programmatically built ASTs), which
+:mod:`repro.analysis` threads into diagnostics -- spans never
+participate in equality, hashing or rendering.  Parsing is the inverse of
 rendering: for every :class:`ConjunctiveQuery` ``q`` whose variable names
 are identifiers and whose constants are strings, numbers, booleans or
 ``None``, ``parse_query(str(q)) == q``; the same holds for every such
@@ -45,7 +50,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import ParseError
-from repro.logic.ast import Atom, Equality
+from repro.logic.ast import Atom, Equality, Span
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.terms import Constant, Term, Variable
 from repro.logic.ucq import UnionOfConjunctiveQueries
@@ -116,6 +121,19 @@ class Token:
         if self.kind in (IDENT, VARIABLE, STRING, NUMBER):
             return f"{self.kind} {self.text!r}"
         return f"'{self.text}'"
+
+
+def _span(start: Token, end: Token) -> Span:
+    """The source range from ``start``'s first character to ``end``'s last.
+
+    Multi-line string literals keep their start position, so the end
+    column is computed on the token's final line.
+    """
+    text = end.text
+    if "\n" in text:
+        tail = text.rsplit("\n", 1)[1]
+        return Span(start.line, start.column, end.line + text.count("\n"), len(tail))
+    return Span(start.line, start.column, end.line, end.column + max(len(text), 1) - 1)
 
 
 def tokenize(text: str) -> tuple[Token, ...]:
@@ -336,10 +354,12 @@ class _QueryParser:
         if stream.at(IDENT) and stream.at(LPAREN, ahead=1):
             body.append(self._atom())
             return
+        start = stream.peek()
         left = self._term()
         stream.expect(EQUALS, "'=' (or a relational atom)")
+        end = stream.peek()
         right = self._term()
-        equalities.append(Equality(left, right))
+        equalities.append(Equality(left, right, span=_span(start, end)))
 
     def _atom(self) -> Atom:
         stream = self.stream
@@ -351,8 +371,8 @@ class _QueryParser:
             while stream.at(COMMA):
                 stream.take()
                 terms.append(self._term())
-        stream.expect(RPAREN)
-        atom = Atom(name.text, terms)
+        rparen = stream.expect(RPAREN)
+        atom = Atom(name.text, terms, span=_span(name, rparen))
         if self.schema is not None:
             if name.text not in self.schema:
                 raise ParseError(f"unknown relation {name.text!r}", name.line, name.column)

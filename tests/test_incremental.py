@@ -189,8 +189,14 @@ def test_embedded_access_rule_is_rejected():
         "person(pid -> 1); friend(pid1 -> pid2, 32); visits(pid -> 8)"
     )
     prepared = RUNNING_QUERIES[0].prepare(engine)
-    with pytest.raises(IncrementalError, match="embedded"):
+    with pytest.raises(IncrementalError) as excinfo:
         prepared.execute_incremental(p=1)
+    # The message names the offending relation and rule, so the fix
+    # (declare a plain rule) is actionable without reading the plan.
+    message = str(excinfo.value)
+    assert "'friend'" in message
+    assert "friend(pid1 -> pid2, 32)" in message
+    assert "plain rule" in message
 
 
 def test_access_schema_change_rebases_on_refresh():

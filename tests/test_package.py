@@ -25,6 +25,7 @@ EXPECTED_EXPORTS = {
     "Exists",
     "Forall",
     "Implies",
+    "Span",
     # queries and parsing
     "ConjunctiveQuery",
     "UnionOfConjunctiveQueries",
@@ -54,6 +55,7 @@ EXPECTED_EXPORTS = {
     "Plan",
     "FetchStep",
     "ProbeStep",
+    "StepCost",
     "compile_plan",
     # the physical executor
     "ExecutionContext",
@@ -88,6 +90,10 @@ EXPECTED_EXPORTS = {
     "ResultSet",
     "ExplainAnalyze",
     "CacheStats",
+    # static analysis
+    "Severity",
+    "Diagnostic",
+    "Report",
 }
 
 
@@ -146,6 +152,13 @@ def test_subpackages_import():
         "repro.workloads",
         "repro.workloads.churn",
         "repro.bench",
+        "repro.analysis",
+        "repro.analysis.diagnostics",
+        "repro.analysis.queries",
+        "repro.analysis.access",
+        "repro.analysis.plans",
+        "repro.analysis.views",
+        "repro.analysis.__main__",
     ):
         importlib.import_module(mod)
 
@@ -159,12 +172,15 @@ def test_docstring_promises_match_implementation():
     import repro
 
     assert "repro.views" in repro.__doc__
+    assert "repro.analysis" in repro.__doc__
     assert "planned" not in repro.__doc__.lower()
     roadmap = pathlib.Path(__file__).resolve().parent.parent / "ROADMAP.md"
     if roadmap.exists():  # the repo checkout; absent in an installed wheel
         text = roadmap.read_text()
+        assert "## Done" in text
         done = text.split("## Done", 1)[-1]
         assert "repro.views" in done
+        assert "repro.analysis" in done
 
 
 def test_subpackage_alls_resolve():
@@ -174,6 +190,7 @@ def test_subpackage_alls_resolve():
         "repro.core",
         "repro.api",
         "repro.views",
+        "repro.analysis",
     ):
         mod = importlib.import_module(mod_name)
         missing = [name for name in mod.__all__ if not hasattr(mod, name)]
