@@ -38,8 +38,11 @@ The package is organised as follows:
   1-based source spans threaded from the parser, pass families over
   queries (QRY), access schemas (ACC), compiled plans (PLN) and views
   (VIW), surfaced as ``prepared.diagnostics()`` / ``engine.analyze()``,
-  a lint CLI with ``--strict``, and the CI gate keeping the Q1-Q5
-  workload bundles warning-clean.
+  a lint CLI with ``--strict`` and certified ``--fix`` rewrites, plan
+  certification (CRT) -- translation validation of every compiled plan
+  under ``Engine(certify=True)`` / ``REPRO_CERTIFY=1`` -- binding-
+  pattern dataflow explanations, and the CI gate keeping the Q1-Q5
+  workload bundles warning-clean and certified.
 * :mod:`repro.bench` -- the experiment harness (also ``python -m
   repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
   fanout bound, refresh-vs-recompute under churn, view-assisted vs
@@ -50,6 +53,7 @@ The most frequently used names are re-exported here for convenience.
 """
 
 from repro.errors import (
+    CertificationError,
     IncrementalError,
     NotControlledError,
     ParseError,
@@ -126,6 +130,7 @@ __all__ = [
     "RewritingError",
     "ParseError",
     "IncrementalError",
+    "CertificationError",
     # terms and formulas
     "Variable",
     "Constant",
@@ -208,4 +213,4 @@ __all__ = [
     "Report",
 ]
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"

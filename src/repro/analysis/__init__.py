@@ -8,17 +8,29 @@ compiler-style tooling: a diagnostic framework
 source spans threaded from the tokenizer through the AST) plus one pass
 family per analyzable object:
 
-* :func:`analyze_query` (QRY001-QRY006) -- single-use variables,
+* :func:`analyze_query` (QRY001-QRY007) -- single-use variables,
   cartesian products, parameters equated away, duplicate atoms,
-  mismatched union selectivity, unsatisfiability;
-* :func:`analyze_access` (ACC001-ACC004) -- ruleless relations,
-  shadowed rules, absurd bounds, duplicates;
+  mismatched union selectivity, unsatisfiability, and the
+  binding-pattern uncontrollability trace;
+* :func:`analyze_access` (ACC001-ACC005) -- ruleless relations,
+  shadowed rules, absurd bounds, duplicates, plus the ACC005
+  missing-rule proposal riding along with QRY007;
 * :func:`analyze_plan` (PLN001-PLN003) -- fanout-bound blowups with the
   multiplicative per-level breakdown, probe-after-embedded-fetch fusion
   opportunities, dominant steps;
 * :func:`analyze_views` / :func:`advise_covering_view`
   (VIW001-VIW003) -- unmatched and overlapping views, and concrete
-  covering-view proposals for uncontrolled queries.
+  covering-view proposals for uncontrolled queries;
+* :func:`certify_plan` / :func:`check_plan` (CRT001-CRT007,
+  :mod:`repro.analysis.certify`) -- translation validation: re-derive a
+  compiled plan's binding coverage, rule membership, head projection and
+  fanout arithmetic independently of the planner (``Engine(certify=True)``
+  / ``REPRO_CERTIFY=1`` gates every compilation on it);
+* :mod:`repro.analysis.dataflow` -- the Datalog-adornment pass behind
+  QRY007/ACC005 and the trace ``NotControlledError`` carries;
+* :mod:`repro.analysis.fixes` -- certified ``--fix`` rewrites for
+  QRY003/QRY004, each verified by homomorphic equivalence before
+  anything is written.
 
 Three surfaces:
 
@@ -38,6 +50,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.access import ABSURD_BOUND, analyze_access
+from repro.analysis.certify import certify_plan, certify_plans, check_plan
+from repro.analysis.dataflow import (
+    ADVISED_RULE_BOUND,
+    AtomAdornment,
+    BindingFlow,
+    advise_missing_rule,
+    binding_flow,
+    explain_uncontrolled,
+)
 from repro.analysis.diagnostics import (
     CODES,
     CodeInfo,
@@ -52,6 +73,7 @@ from repro.analysis.plans import (
     DOMINANCE_RATIO,
     analyze_plan,
 )
+from repro.analysis.fixes import FixResult, fix_query
 from repro.analysis.queries import SELECTIVITY_RATIO, analyze_query
 from repro.analysis.views import (
     DEFAULT_ADVISED_BOUND,
@@ -80,11 +102,22 @@ __all__ = [
     "analyze_prepared",
     "analyze_engine",
     "workload_report",
+    "certify_plan",
+    "certify_plans",
+    "check_plan",
+    "binding_flow",
+    "explain_uncontrolled",
+    "advise_missing_rule",
+    "BindingFlow",
+    "AtomAdornment",
+    "fix_query",
+    "FixResult",
     "ABSURD_BOUND",
     "BLOWUP_THRESHOLD",
     "DOMINANCE_RATIO",
     "SELECTIVITY_RATIO",
     "DEFAULT_ADVISED_BOUND",
+    "ADVISED_RULE_BOUND",
 ]
 
 
@@ -159,11 +192,13 @@ def analyze_engine(
     return report
 
 
-def workload_report() -> Report:
+def workload_report(*, certify: bool | None = None) -> Report:
     """The repo's own gate: analyze the Q1-Q5 workload bundles (views
     V1/V2 registered, so Q4/Q5 compile) plus the social access schema
     and the view registry.  CI runs this via ``python -m repro.analysis
-    --workload --strict`` and fails on any warning."""
+    --workload --strict --certify`` and fails on any warning; with
+    ``certify`` the engine additionally gates every compiled plan (base
+    and view-augmented) on the :mod:`repro.analysis.certify` certifier."""
     from repro.workloads import (
         RUNNING_QUERIES,
         VIEW_QUERIES,
@@ -172,7 +207,7 @@ def workload_report() -> Report:
 
     report = Report()
     bundles = RUNNING_QUERIES + VIEW_QUERIES
-    engine = bundles[0].engine()
+    engine = bundles[0].engine(certify=certify)
     register_workload_views(engine)
     report.extend(analyze_access(engine.access, source="social"))
     prepared = {b.name: b.prepare(engine) for b in bundles}

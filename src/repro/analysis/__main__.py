@@ -12,8 +12,16 @@ plus the access rules themselves and the repo's own workload bundles::
     python -m repro.analysis queries.dl --schema schema.dl \\
         --access "friend(pid1 -> 32)" --params p
 
-    # the CI gate: the Q1-Q5 workload bundles must be warning-clean
-    python -m repro.analysis --workload --strict
+    # the CI gate: the Q1-Q5 workload bundles must be warning-clean and
+    # every compiled plan must pass independent certification
+    python -m repro.analysis --workload --strict --certify
+
+    # machine-readable output (what CI uploads as an artifact)
+    python -m repro.analysis --workload --format json
+
+    # apply the certified QRY003/QRY004 rewrites in place (--dry-run:
+    # print the unified diff without writing)
+    python -m repro.analysis queries.dl --fix --params p
 
     # the code table
     python -m repro.analysis --codes
@@ -27,6 +35,7 @@ fail even without ``--strict``.
 from __future__ import annotations
 
 import argparse
+import difflib
 import re
 import sys
 from pathlib import Path
@@ -40,7 +49,9 @@ from repro.analysis import (
     analyze_access,
     analyze_plan,
     analyze_query,
+    certify_plan,
     diagnostic,
+    fix_query,
     workload_report,
 )
 from repro.core.access_schema import AccessSchema
@@ -69,6 +80,8 @@ def _lint_file(
     access: AccessSchema | None,
     params: Sequence[str],
     report: Report,
+    *,
+    certify: bool = False,
 ) -> None:
     try:
         text = Path(filename).read_text()
@@ -121,6 +134,9 @@ def _lint_file(
             else:
                 for diag in analyze_plan(plan, source=filename):
                     report.add(diag.shifted(shift))
+                if certify:
+                    for diag in certify_plan(plan, access, source=filename):
+                        report.add(diag.shifted(shift))
 
 
 def _usable(params: Sequence[str], query) -> tuple[str, ...]:
@@ -132,6 +148,70 @@ def _usable(params: Sequence[str], query) -> tuple[str, ...]:
     else:
         variables = {v for d in query.disjuncts for v in d.variables()}
     return tuple(p for p in params if _as_variable(p) in variables)
+
+
+def _fix_file(
+    filename: str,
+    schema: DatabaseSchema | None,
+    params: Sequence[str],
+    *,
+    dry_run: bool,
+) -> bool:
+    """Apply the certified QRY003/QRY004 rewrites to ``filename``.
+
+    Each query line is rewritten only when :func:`fix_query` both
+    changed it and verified the rewrite by re-parse + homomorphic
+    equivalence.  Prints a unified diff of any changes; writes the file
+    unless ``dry_run``.  Returns True when anything changed."""
+    try:
+        text = Path(filename).read_text()
+    except OSError:
+        return False  # already reported as SYN001 by the lint pass
+    old_lines = text.splitlines()
+    new_lines = list(old_lines)
+    notes: list[str] = []
+    for lineno, line in enumerate(old_lines, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            query = parse_query(line, schema=schema)
+        except ReproError:
+            continue  # unparseable lines are lint findings, not fixable
+        result = fix_query(query, _usable(params, query), schema=schema)
+        if not result.fixes:
+            continue
+        if not result.verified:
+            notes.append(
+                f"{filename}:{lineno}: fix not applied -- the rewrite "
+                f"failed equivalence verification"
+            )
+            continue
+        indent = line[: len(line) - len(line.lstrip())]
+        new_lines[lineno - 1] = indent + str(result.fixed)
+        for fix in result.fixes:
+            notes.append(f"{filename}:{lineno}: {fix}")
+    if new_lines == old_lines:
+        for note in notes:
+            print(note)
+        return False
+    trailer = "\n" if text.endswith("\n") else ""
+    new_text = "\n".join(new_lines) + trailer
+    diff = difflib.unified_diff(
+        text.splitlines(keepends=True),
+        new_text.splitlines(keepends=True),
+        fromfile=filename,
+        tofile=f"{filename} (fixed)",
+    )
+    sys.stdout.write("".join(diff))
+    for note in notes:
+        print(note)
+    if dry_run:
+        print(f"{filename}: dry run -- no changes written")
+    else:
+        Path(filename).write_text(new_text)
+        print(f"{filename}: fixes written")
+    return True
 
 
 def _print_codes() -> None:
@@ -176,6 +256,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="fail on warnings, not just errors",
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently certify every compiled plan (CRT codes); "
+        "with --workload, gate the bundles' engine on certification",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the certified QRY003/QRY004 rewrites to the given "
+        "files (each verified by re-parse + homomorphic equivalence)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff without writing",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json prints Report.to_json())",
+    )
+    parser.add_argument(
         "--codes",
         action="store_true",
         help="print the diagnostic code table and exit",
@@ -189,6 +292,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--access requires --schema")
     if not args.files and not args.workload:
         parser.error("nothing to analyze: pass query files or --workload")
+    if args.fix and not args.files:
+        parser.error("--fix needs query files to rewrite")
+    if args.dry_run and not args.fix:
+        parser.error("--dry-run only makes sense with --fix")
 
     report = Report()
     schema: DatabaseSchema | None = None
@@ -207,15 +314,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             report.extend(analyze_access(access, source="--access"))
 
     if args.workload:
-        report.extend(workload_report())
+        try:
+            report.extend(workload_report(certify=args.certify or None))
+        except ReproError as exc:  # a CertificationError fails the gate
+            report.add(diagnostic("SYN001", str(exc), source="--workload"))
 
     params = tuple(p.strip() for p in args.params.split(",") if p.strip())
     for filename in args.files:
-        _lint_file(filename, schema, access, params, report)
+        _lint_file(
+            filename, schema, access, params, report, certify=args.certify
+        )
+    if args.fix:
+        for filename in args.files:
+            _fix_file(filename, schema, params, dry_run=args.dry_run)
 
-    if report:
-        print(report.render())
-    print(report.summary())
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        if report:
+            print(report.render())
+        print(report.summary())
     fail_on = Severity.WARNING if args.strict else Severity.ERROR
     return 0 if report.ok(fail_on) else 1
 

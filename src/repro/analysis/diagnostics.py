@@ -18,9 +18,10 @@ code so passes cannot emit unregistered or misspelled codes.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
 from enum import IntEnum
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.logic.ast import Span
 
@@ -193,9 +194,52 @@ class Report:
         """True iff no diagnostic reaches the ``fail_on`` severity floor."""
         return not self.at_least(fail_on)
 
+    def sorted_diagnostics(self) -> tuple[Diagnostic, ...]:
+        """The diagnostics sorted by ``(source, line, column, code)`` --
+        the deterministic order :meth:`render` and :meth:`to_json` emit,
+        stable across pass-registration and dict-iteration order (ties
+        keep emission order: Python's sort is stable)."""
+        return tuple(sorted(self._diagnostics, key=_sort_key))
+
     def render(self) -> str:
-        """One compiler-style line per diagnostic, in emission order."""
-        return "\n".join(str(d) for d in self._diagnostics)
+        """One compiler-style line per diagnostic, sorted by
+        ``(source, line, column, code)`` (see
+        :meth:`sorted_diagnostics`)."""
+        return "\n".join(str(d) for d in self.sorted_diagnostics())
+
+    def to_dict(self) -> dict[str, Any]:
+        """The report as JSON-ready data: a severity ``summary`` plus one
+        entry per diagnostic, in :meth:`sorted_diagnostics` order."""
+        return {
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "hints": len(self.hints),
+                "total": len(self),
+            },
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": str(d.severity),
+                    "message": d.message,
+                    "source": d.source,
+                    "span": None
+                    if d.span is None
+                    else {
+                        "line": d.span.line,
+                        "column": d.span.column,
+                        "end_line": d.span.end_line,
+                        "end_column": d.span.end_column,
+                    },
+                }
+                for d in self.sorted_diagnostics()
+            ],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """:meth:`to_dict` serialized -- what ``python -m repro.analysis
+        --format json`` prints and CI uploads as an artifact."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def summary(self) -> str:
         """``"2 errors, 1 warning, 3 hints"`` (zero buckets omitted)."""
@@ -208,6 +252,15 @@ class Report:
         return ", ".join(parts) if parts else "no diagnostics"
 
 
+def _sort_key(d: Diagnostic) -> tuple[str, int, int, str]:
+    return (
+        d.source or "",
+        d.span.line if d.span is not None else 0,
+        d.span.column if d.span is not None else 0,
+        d.code,
+    )
+
+
 # -- the shipped codes ----------------------------------------------------
 
 # Queries (repro.analysis.queries)
@@ -217,12 +270,14 @@ register_code("QRY003", Severity.WARNING, "parameter equated away by the query")
 register_code("QRY004", Severity.WARNING, "duplicate body atom")
 register_code("QRY005", Severity.WARNING, "union branches with mismatched access cost")
 register_code("QRY006", Severity.WARNING, "query is unsatisfiable")
+register_code("QRY007", Severity.HINT, "variable can never become bound")
 
 # Access schemas (repro.analysis.access)
 register_code("ACC001", Severity.HINT, "relation has no access rules")
 register_code("ACC002", Severity.WARNING, "access rule shadowed by a cheaper rule")
 register_code("ACC003", Severity.WARNING, "absurdly large cardinality bound")
 register_code("ACC004", Severity.WARNING, "duplicate access rule")
+register_code("ACC005", Severity.HINT, "missing access rule would control the query")
 
 # Plans (repro.analysis.plans)
 register_code("PLN001", Severity.WARNING, "fanout bound blowup")
@@ -233,6 +288,16 @@ register_code("PLN003", Severity.HINT, "one step dominates the access bound")
 register_code("VIW001", Severity.WARNING, "view matches no workload query")
 register_code("VIW002", Severity.HINT, "views with equivalent bodies overlap")
 register_code("VIW003", Severity.HINT, "covering view would control the query")
+
+# Plan certification (repro.analysis.certify) -- all errors: a CRT
+# finding means the planner and an independent re-derivation disagree.
+register_code("CRT001", Severity.ERROR, "fetch step inputs not bound")
+register_code("CRT002", Severity.ERROR, "probe step atom not fully bound")
+register_code("CRT003", Severity.ERROR, "step rule not declared by the access schema")
+register_code("CRT004", Severity.ERROR, "plan head terms not bound")
+register_code("CRT005", Severity.ERROR, "plan references an unregistered view relation")
+register_code("CRT006", Severity.ERROR, "plan cost accounting mismatch")
+register_code("CRT007", Severity.ERROR, "plan steps do not witness the query body")
 
 # Syntax (the CLI front end)
 register_code("SYN001", Severity.ERROR, "syntax or validation error")

@@ -20,6 +20,13 @@ or a union before any plan is compiled:
   whole union's cost (needs an access schema to quantify).
 * **QRY006** (warning) -- equalities that equate distinct constants: the
   query is unsatisfiable and the answer is always empty.
+* **QRY007** (hint) -- a variable the binding-pattern fixpoint can never
+  reach under the given access schema and parameters, with the causal
+  trace from :mod:`repro.analysis.dataflow` (needs an access schema;
+  a hint because views may still make the query executable).
+* **ACC005** (hint) -- rides along with QRY007 when a single added
+  access rule would make the query controlled: the proposed minimal
+  rule, keyed on the attributes the fixpoint already binds.
 
 Spans ride along from the parser (:class:`~repro.logic.ast.Span` on
 parsed atoms and equalities), so findings on textual queries point at the
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.analysis.dataflow import advise_missing_rule, binding_flow
 from repro.analysis.diagnostics import Report, diagnostic
 from repro.core.access_schema import AccessSchema
 from repro.errors import NotControlledError, ReproError
@@ -71,6 +79,8 @@ def analyze_query(
         _check_cartesian(disjunct, report, source)
         _check_parameter_equated(disjunct, params, report, source)
         _check_duplicate_atoms(disjunct, report, source)
+        if access is not None:
+            _check_uncontrolled(disjunct, access, params, report, source)
     if isinstance(query, UnionOfConjunctiveQueries) and access is not None:
         _check_union_selectivity(query, access, params, report, source)
     return report
@@ -224,6 +234,55 @@ def _check_duplicate_atoms(
             )
         else:
             seen.add(atom)
+
+
+def _check_uncontrolled(
+    query: ConjunctiveQuery,
+    access: AccessSchema,
+    params: tuple[Variable, ...],
+    report: Report,
+    source: str | None,
+) -> None:
+    usable = tuple(p for p in params if p in set(query.variables()))
+    try:
+        flow = binding_flow(query, access, usable)
+    except ReproError:
+        return  # schema mismatch etc.; reported elsewhere
+    if flow.controlled:
+        return
+    unreached = set(flow.uncovered)
+    span = next(
+        (
+            atom.span
+            for atom in query.body
+            if atom.span is not None
+            and any(t in unreached for t in atom.terms if isinstance(t, Variable))
+        ),
+        None,
+    )
+    # One diagnostic per query: the trace's per-variable lines fold into
+    # one compiler-style line.
+    report.add(
+        diagnostic(
+            "QRY007",
+            "; ".join(flow.explain().splitlines()),
+            span=span,
+            source=source,
+        )
+    )
+    rule = advise_missing_rule(query, access, usable)
+    if rule is not None:
+        given = ", ".join(f"?{p}" for p in usable) or "no parameters"
+        report.add(
+            diagnostic(
+                "ACC005",
+                f"adding access rule {rule} would make the query "
+                f"controlled by {given} -- the minimal missing promise, "
+                f"keyed on the attributes the fixpoint already binds",
+                span=span,
+                source=source,
+            )
+        )
 
 
 def _check_union_selectivity(

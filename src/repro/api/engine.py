@@ -51,6 +51,7 @@ before each view-assisted execution.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
@@ -396,6 +397,16 @@ class Engine:
     ``data`` may be a :class:`Database` or a ``{relation: rows}`` mapping.
     Omitting ``access`` means "no access rules" (nothing is controlled);
     omitting ``data`` leaves the engine planning-only until one is bound.
+
+    ``certify=True`` runs the independent plan certifier
+    (:mod:`repro.analysis.certify`) over every plan this engine compiles
+    -- base, view-augmented and incremental-rebase plans alike -- inside
+    the plan cache's single-flight compute, so each cached plan is
+    certified exactly once; a plan that fails certification raises
+    :class:`~repro.errors.CertificationError` instead of entering the
+    cache.  The default (``certify=None``) follows the ``REPRO_CERTIFY``
+    environment variable (any value other than empty or ``0`` enables
+    it; the test suite sets it suite-wide via a conftest fixture).
     """
 
     __slots__ = (
@@ -405,6 +416,7 @@ class Engine:
         "_database",
         "_cache",
         "_views",
+        "_certify",
     )
 
     def __init__(
@@ -414,6 +426,7 @@ class Engine:
         data: Database | Mapping[str, Iterable[Sequence[object]]] | None = None,
         *,
         plan_cache_size: int | None = 128,
+        certify: bool | None = None,
     ):
         if isinstance(schema, str):
             schema = DatabaseSchema.parse(schema)
@@ -427,6 +440,9 @@ class Engine:
         self._access_lock = threading.Lock()
         self._access_state = (0, self._coerce_access(access))
         self._views = ViewSet(schema)
+        if certify is None:
+            certify = os.environ.get("REPRO_CERTIFY", "") not in ("", "0")
+        self._certify = bool(certify)
         self._database: Database | None = None
         if data is not None:
             self.database = data if isinstance(data, Database) else Database(schema, data)
@@ -452,6 +468,12 @@ class Engine:
             version, _ = self._access_state
             self._access_state = (version + 1, coerced)
         self._cache.invalidate()
+
+    @property
+    def certify(self) -> bool:
+        """Whether this engine certifies every plan it compiles
+        (:mod:`repro.analysis.certify`)."""
+        return self._certify
 
     @property
     def views(self) -> ViewSet:
@@ -632,10 +654,21 @@ class Engine:
             # matched by name at execution time, so order is cosmetic.
             params = tuple(sorted(parameters, key=lambda v: v.name))
             if isinstance(query, ConjunctiveQuery):
-                return (compile_one(query, params),)
-            return tuple(
-                compile_one(disjunct, params) for disjunct in query.disjuncts
-            )
+                plans = (compile_one(query, params),)
+            else:
+                plans = tuple(
+                    compile_one(disjunct, params) for disjunct in query.disjuncts
+                )
+            if self._certify:
+                # Inside the single-flight compute: each cached plan is
+                # certified exactly once, and a failing plan never enters
+                # the cache (the CertificationError propagates to every
+                # waiter and the key is cleared).
+                from repro.analysis.certify import check_plan
+
+                for plan in plans:
+                    check_plan(plan, access, catalog.definitions())
+            return plans
 
         # Single-flight: N concurrent cold starts of the same key run the
         # controllability fixpoint once; the others wait and share.

@@ -341,7 +341,19 @@ def _raise_not_controlled(
     if remaining:
         details.append("uncovered atoms: " + ", ".join(str(a) for a in remaining))
     given = ", ".join(f"?{v}" for v in params) or "no parameters"
-    raise NotControlledError(
+    message = (
         f"query {query} is not controlled by {given} under {access}"
         + (" (" + "; ".join(details) + ")" if details else "")
     )
+    # Append the binding-pattern causal trace (why each variable stays
+    # unreachable) when the dataflow pass is available.  Imported lazily:
+    # repro.analysis sits above repro.core in the layering.
+    try:
+        from repro.analysis.dataflow import explain_uncontrolled
+
+        trace = explain_uncontrolled(query, access, params)
+    except Exception:
+        trace = None
+    if trace:
+        message += "\n" + trace
+    raise NotControlledError(message)

@@ -53,3 +53,19 @@ class NotControlledError(ReproError):
 class RewritingError(ReproError):
     """No rewriting of the requested form exists (or the bounded search for
     one was exhausted)."""
+
+
+class CertificationError(ReproError):
+    """A compiled plan failed independent certification
+    (:mod:`repro.analysis.certify`): re-deriving its binding coverage,
+    rule membership, head projection or fanout arithmetic from the query
+    and the access schema contradicted what the plan claims.
+
+    Carries the certifier's ``report`` (a :class:`repro.analysis.Report`
+    of ``CRT`` errors) when raised by
+    :func:`repro.analysis.certify.check_plan`.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report

@@ -17,6 +17,17 @@ from repro import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _certify_all_plans(monkeypatch):
+    """Certification is always-on in the test suite: every Engine built
+    by any test follows REPRO_CERTIFY and gates each compiled plan --
+    base, view-augmented and incremental-rebase alike -- on the
+    independent certifier (repro.analysis.certify).  A planner bug that
+    produces an unsound plan fails the suite even if no assertion would
+    have caught the wrong answer."""
+    monkeypatch.setenv("REPRO_CERTIFY", "1")
+
+
 @pytest.fixture
 def social_schema():
     return DatabaseSchema(

@@ -1,0 +1,36 @@
+"""Seeded bad-plan fixture for the CI must-fail gate.
+
+Builds a correct plan for the paper's Q1, forges its step order (the
+fetch keyed on a variable no earlier step binds) and feeds it to the
+certifier's gating form.  ``check_plan`` must raise
+:class:`~repro.errors.CertificationError`, so this script exiting 0
+means the certifier has gone blind -- CI runs it under ``!``::
+
+    ! PYTHONPATH=src python tests/fixtures/bad_plan.py
+"""
+
+import sys
+
+from repro import AccessRule, AccessSchema, Plan, compile_plan, parse_cq, parse_schema
+from repro.analysis import check_plan
+
+schema = parse_schema("person(pid, name, city); friend(pid1, pid2)")
+access = AccessSchema(
+    schema,
+    [AccessRule("friend", ["pid1"], bound=32), AccessRule("person", ["pid"], bound=1)],
+)
+query = parse_cq("Q(y) :- friend(p, y), person(y, n, 'NYC')", schema=schema)
+good = compile_plan(query, access, ("p",))
+
+forged = Plan(
+    good.query,
+    good.parameters,
+    tuple(reversed(good.steps)),
+    good.head_terms,
+    good.satisfiable,
+    good.view_relations,
+)
+
+check_plan(forged, access)  # must raise CertificationError (exit != 0)
+print("BUG: the forged plan certified clean", file=sys.stderr)
+sys.exit(0)

@@ -1,0 +1,491 @@
+"""Plan certification (translation validation), binding-pattern
+dataflow and the lint autofix.
+
+The certifier removes the planner from the trusted base: every plan the
+workload engines compile -- base, view-augmented and post-churn rebased
+-- must certify clean, and every hand-mutated plan must fail with the
+specific CRT code its corruption deserves.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    CertificationError,
+    Engine,
+    FetchStep,
+    Plan,
+    ProbeStep,
+    Severity,
+    compile_plan,
+    parse_cq,
+)
+from repro.analysis import (
+    ADVISED_RULE_BOUND,
+    Report,
+    advise_missing_rule,
+    analyze_query,
+    binding_flow,
+    certify_plan,
+    certify_plans,
+    check_plan,
+    diagnostic,
+    explain_uncontrolled,
+    fix_query,
+    workload_report,
+)
+from repro.analysis.__main__ import main
+from repro.errors import NotControlledError
+from repro.logic.ast import Span
+from repro.logic.homomorphism import are_equivalent
+from repro.logic.parser import parse_query
+from repro.workloads import (
+    RUNNING_QUERIES,
+    VIEW_QUERIES,
+    generate_churn,
+    generate_social_network,
+    register_workload_views,
+    social_engine,
+)
+
+
+def codes(report: Report) -> set[str]:
+    return {d.code for d in report}
+
+
+@pytest.fixture
+def q1_plan(social_schema, social_access):
+    query = parse_cq(
+        "Q(y) :- friend(p, y), person(y, n, 'NYC')", schema=social_schema
+    )
+    return compile_plan(query, social_access, ("p",)), social_access
+
+
+def clone(plan: Plan, **overrides) -> Plan:
+    """A structural copy of ``plan`` with some fields forged."""
+    fields = {
+        "query": plan.query,
+        "parameters": plan.parameters,
+        "steps": plan.steps,
+        "head_terms": plan.head_terms,
+        "satisfiable": plan.satisfiable,
+        "view_relations": plan.view_relations,
+    }
+    fields.update(overrides)
+    return Plan(**fields)
+
+
+# --------------------------------------------------------------------------
+# The positive direction: everything the engine compiles certifies clean.
+
+
+def test_running_query_plans_certify_clean():
+    data = generate_social_network(40, seed=3)
+    for bundle in RUNNING_QUERIES:
+        engine = bundle.engine(data)
+        plan = bundle.prepare(engine).plan(bundle.parameters)
+        report = certify_plan(plan, engine.access, engine.views.definitions())
+        assert report.ok(Severity.ERROR), f"{bundle.name}: {report.render()}"
+        assert not list(report)
+
+
+def test_view_augmented_plans_certify_clean():
+    data = generate_social_network(40, seed=3)
+    for bundle in VIEW_QUERIES:
+        engine = bundle.engine(data)
+        register_workload_views(engine)
+        plan = bundle.prepare(engine).plan(bundle.parameters)
+        assert plan.view_relations  # the rewrite actually used a view
+        report = certify_plan(plan, engine.access, engine.views.definitions())
+        assert report.ok(Severity.ERROR), f"{bundle.name}: {report.render()}"
+
+
+def test_view_plan_fails_without_its_view_registered():
+    """The same plan, certified against an empty view catalog, is caught:
+    CRT005 is precisely the check that a view plan cannot outlive its
+    view."""
+    data = generate_social_network(40, seed=3)
+    bundle = VIEW_QUERIES[0]
+    engine = bundle.engine(data)
+    register_workload_views(engine)
+    plan = bundle.prepare(engine).plan(bundle.parameters)
+    report = certify_plan(plan, engine.access, views=())
+    assert "CRT005" in codes(report)
+
+
+def test_rebased_plans_after_churn_certify(monkeypatch):
+    """Incremental refresh after churn plus an access-schema bump forces
+    a rebase through ``_plans_for``; with certification on (the conftest
+    fixture), every rebased plan passes through ``check_plan``."""
+    import repro.analysis.certify as certify_mod
+
+    calls = []
+    real = certify_mod.check_plan
+    monkeypatch.setattr(
+        certify_mod, "check_plan", lambda *a, **k: calls.append(a) or real(*a, **k)
+    )
+    engine = social_engine(50, seed=5)
+    assert engine.certify  # REPRO_CERTIFY=1 via conftest
+    result = engine.execute_incremental("Q(u) :- friend(p, y), visits(y, u)", {"p": 3})
+    data = generate_social_network(50, seed=5)
+    for batch in generate_churn(data, batches=3, batch_size=8, seed=7):
+        batch.apply(engine.require_database())
+    compiled_before = len(calls)
+    assert compiled_before > 0
+    engine.access = engine.access  # version bump strands the cached plans
+    refreshed = engine.refresh(result)
+    assert len(calls) > compiled_before  # the rebase was certified too
+    fresh = engine.execute("Q(u) :- friend(p, y), visits(y, u)", {"p": 3})
+    assert set(refreshed.rows) == set(fresh)
+
+
+def test_workload_report_with_certification_stays_hint_only():
+    report = workload_report(certify=True)
+    assert report.ok(Severity.WARNING)
+    assert not any(d.code.startswith("CRT") for d in report)
+
+
+# --------------------------------------------------------------------------
+# The negative direction: hand-mutated plans fail with the right code.
+
+
+def test_swapped_steps_fail_crt001(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, steps=tuple(reversed(plan.steps)))
+    report = certify_plan(mutated, access)
+    assert "CRT001" in codes(report)
+    assert not report.ok(Severity.ERROR)
+
+
+def test_forged_rule_bound_fails_crt003(q1_plan):
+    plan, access = q1_plan
+    step = plan.steps[0]
+    assert isinstance(step, FetchStep)
+    forged = dataclasses.replace(
+        step, rule=AccessRule("friend", ["pid1"], bound=999)
+    )
+    mutated = clone(plan, steps=(forged,) + plan.steps[1:])
+    assert "CRT003" in codes(certify_plan(mutated, access))
+
+
+def test_unregistered_view_relation_fails_crt005(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, view_relations=frozenset({"V9"}))
+    assert "CRT005" in codes(certify_plan(mutated, access))
+
+
+def test_premature_probe_fails_crt002(social_schema, social_access):
+    query = parse_cq("Q(y) :- friend(p, y)", schema=social_schema)
+    plan = compile_plan(query, social_access, ("p",))
+    mutated = clone(plan, steps=(ProbeStep(plan.steps[0].atom),))
+    report = certify_plan(mutated, social_access)
+    assert "CRT002" in codes(report)
+
+
+def test_forged_head_terms_fail_crt004(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, head_terms=plan.head_terms + plan.head_terms)
+    assert "CRT004" in codes(certify_plan(mutated, access))
+
+
+def test_dropped_step_fails_crt007(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, steps=plan.steps[:1])
+    assert "CRT007" in codes(certify_plan(mutated, access))
+
+
+def test_forged_satisfiability_fails_crt007(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, satisfiable=False)
+    assert "CRT007" in codes(certify_plan(mutated, access))
+
+
+def test_forged_fanout_bound_fails_crt006(q1_plan):
+    plan, access = q1_plan
+
+    class ForgedPlan(Plan):
+        @property
+        def fanout_bound(self) -> int:
+            return 1  # "scale independent, trust me"
+
+    mutated = ForgedPlan(
+        plan.query,
+        plan.parameters,
+        plan.steps,
+        plan.head_terms,
+        plan.satisfiable,
+        plan.view_relations,
+    )
+    assert "CRT006" in codes(certify_plan(mutated, access))
+
+
+def test_check_plan_gates_and_passes_through(q1_plan):
+    plan, access = q1_plan
+    assert check_plan(plan, access) is plan
+    mutated = clone(plan, steps=tuple(reversed(plan.steps)))
+    with pytest.raises(CertificationError) as exc_info:
+        check_plan(mutated, access)
+    assert "failed certification" in str(exc_info.value)
+    assert exc_info.value.report is not None
+    assert not exc_info.value.report.ok(Severity.ERROR)
+
+
+def test_certify_plans_merges_reports(q1_plan):
+    plan, access = q1_plan
+    mutated = clone(plan, view_relations=frozenset({"V9"}))
+    report = certify_plans([plan, mutated], access)
+    assert "CRT005" in codes(report)
+
+
+def test_engine_gates_compilation_on_certification(monkeypatch, social_db):
+    """A planner that emits an unsound plan cannot get it past a
+    certifying engine -- and the bad plan never lands in the cache."""
+    import repro.api.engine as engine_mod
+
+    real = engine_mod.compile_plan
+
+    def corrupt(query, access, params):
+        plan = real(query, access, params)
+        return clone(plan, head_terms=plan.head_terms + plan.head_terms)
+
+    monkeypatch.setattr(engine_mod, "compile_plan", corrupt)
+    engine = Engine(social_db.schema, "friend(pid1 -> 5)", certify=True)
+    engine.database = social_db
+    with pytest.raises(CertificationError):
+        engine.execute("Q(y) :- friend(p, y)", {"p": 1})
+    assert engine.cache_stats().size == 0
+    monkeypatch.setattr(engine_mod, "compile_plan", real)
+    assert set(engine.execute("Q(y) :- friend(p, y)", {"p": 1})) == {(2,), (3,)}
+
+
+def test_engine_certify_flag_follows_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CERTIFY", "0")
+    assert not Engine("person(pid)", "person(pid -> 1)").certify
+    monkeypatch.setenv("REPRO_CERTIFY", "1")
+    assert Engine("person(pid)", "person(pid -> 1)").certify
+    # An explicit argument beats the environment in both directions.
+    assert not Engine("person(pid)", "person(pid -> 1)", certify=False).certify
+    monkeypatch.setenv("REPRO_CERTIFY", "0")
+    assert Engine("person(pid)", "person(pid -> 1)", certify=True).certify
+
+
+# --------------------------------------------------------------------------
+# Binding-pattern dataflow: adornments, traces and advised rules.
+
+
+def test_binding_flow_controlled_query(social_schema, social_access):
+    query = parse_cq(
+        "Q(y) :- friend(p, y), person(y, n, 'NYC')", schema=social_schema
+    )
+    flow = binding_flow(query, social_access, ("p",))
+    assert flow.controlled
+    assert not flow.uncovered
+    patterns = {a.atom.relation: a.pattern for a in flow.adornments}
+    assert patterns == {"friend": "bb", "person": "bbb"}
+    assert explain_uncontrolled(query, social_access, ("p",)) is None
+
+
+def test_binding_flow_uncontrolled_inverted_lookup(social_schema, social_access):
+    # Q4's shape: keyed on the *second* friend position, which no base
+    # rule accepts as input.
+    query = parse_cq(
+        "Q(f) :- friend(f, p), person(f, n, 'NYC')", schema=social_schema
+    )
+    flow = binding_flow(query, social_access, ("p",))
+    assert not flow.controlled
+    uncovered = {v.name for v in flow.uncovered}
+    assert "f" in uncovered
+    trace = flow.explain()
+    assert "?f" in trace and "can never become bound" in trace
+    assert explain_uncontrolled(query, social_access, ("p",)) == trace
+
+
+def test_advise_missing_rule_proposes_minimal_key(social_schema, social_access):
+    query = parse_cq("Q(f) :- friend(f, p)", schema=social_schema)
+    rule = advise_missing_rule(query, social_access, ("p",))
+    assert rule is not None
+    assert rule.relation == "friend"
+    assert tuple(rule.inputs) == ("pid2",)
+    assert rule.bound == ADVISED_RULE_BOUND
+    # The advice is verified: the extended schema really controls it.
+    extended = AccessSchema(
+        social_access.schema, tuple(social_access) + (rule,)
+    )
+    compile_plan(query, extended, ("p",))  # does not raise
+
+
+def test_advise_missing_rule_none_when_controlled(social_schema, social_access):
+    query = parse_cq("Q(y) :- friend(p, y)", schema=social_schema)
+    assert advise_missing_rule(query, social_access, ("p",)) is None
+
+
+def test_analyze_query_emits_qry007_and_acc005(social_schema, social_access):
+    query = parse_cq("Q(f) :- friend(f, p)", schema=social_schema)
+    report = Report(analyze_query(query, social_access, ("p",)))
+    assert {"QRY007", "ACC005"} <= codes(report)
+    assert all(
+        d.severity is Severity.HINT
+        for d in report
+        if d.code in ("QRY007", "ACC005")
+    )
+    assert any("friend(pid2 -> 64)" in d.message for d in report)
+
+
+def test_not_controlled_error_carries_dataflow_trace(social_schema, social_access):
+    query = parse_cq("Q(f) :- friend(f, p)", schema=social_schema)
+    with pytest.raises(NotControlledError) as exc_info:
+        compile_plan(query, social_access, ("p",))
+    assert "can never become bound" in str(exc_info.value)
+
+
+# --------------------------------------------------------------------------
+# The autofix: certified QRY003/QRY004 rewrites.
+
+
+def test_fix_query_drops_duplicates_and_inlines_constants(social_schema):
+    query = parse_cq(
+        "Q(y) :- friend(p, y), friend(p, y), p = 7", schema=social_schema
+    )
+    result = fix_query(query, ("p",), schema=social_schema)
+    assert result.changed and result.verified
+    assert {f.code for f in result.fixes} == {"QRY003", "QRY004"}
+    expected = parse_cq("Q(y) :- friend(7, y)", schema=social_schema)
+    assert are_equivalent(result.fixed, expected)
+    # Round trip: the rendered fix re-parses to an equivalent query.
+    reparsed = parse_query(str(result.fixed), schema=social_schema)
+    assert are_equivalent(reparsed, query)
+
+
+def test_fix_query_leaves_clean_queries_alone(social_schema):
+    query = parse_cq("Q(y) :- friend(p, y)", schema=social_schema)
+    result = fix_query(query, ("p",), schema=social_schema)
+    assert not result.changed
+    assert result.fixes == ()
+    assert result.fixed is query
+
+
+def test_fix_query_never_inlines_into_the_head(social_schema):
+    # Inlining ?p would put a constant in the head, which a CQ forbids.
+    query = parse_cq("Q(p, y) :- friend(p, y), p = 7", schema=social_schema)
+    result = fix_query(query, ("p",), schema=social_schema)
+    assert "QRY003" not in {f.code for f in result.fixes}
+
+
+def test_cli_fix_rewrites_file(tmp_path, capsys):
+    target = tmp_path / "queries.dl"
+    target.write_text(
+        "# workload\n"
+        "Q(y) :- friend(p, y), friend(p, y), p = 7\n"
+        "Q(y) :- friend(p, y)\n"
+    )
+    schema = "person(pid, name, city); friend(pid1, pid2)"
+    code = main([str(target), "--schema", schema, "--params", "p", "--fix"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fixes written" in out
+    lines = target.read_text().splitlines()
+    assert lines[0] == "# workload"  # comments untouched
+    assert lines[2] == "Q(y) :- friend(p, y)"  # clean line untouched
+    fixed = parse_query(lines[1], schema=None)
+    original = parse_query(
+        "Q(y) :- friend(p, y), friend(p, y), p = 7", schema=None
+    )
+    assert are_equivalent(fixed, original)
+
+
+def test_cli_fix_dry_run_prints_diff_without_writing(tmp_path, capsys):
+    target = tmp_path / "queries.dl"
+    before = "Q(y) :- friend(p, y), friend(p, y)\n"
+    target.write_text(before)
+    code = main([str(target), "--params", "p", "--fix", "--dry-run"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "--- " in out and "+++ " in out  # a unified diff
+    assert "dry run" in out
+    assert target.read_text() == before
+
+
+# --------------------------------------------------------------------------
+# Report ordering and the JSON surface.
+
+
+def test_report_renders_in_deterministic_source_order():
+    report = Report()
+    report.add(diagnostic("QRY002", "late", span=Span(9, 1, 9, 2), source="b.dl"))
+    report.add(diagnostic("QRY004", "tie-break by code", span=Span(2, 5, 2, 6), source="a.dl"))
+    report.add(diagnostic("QRY001", "first", span=Span(2, 5, 2, 6), source="a.dl"))
+    report.add(diagnostic("SYN001", "no span sorts first", source="a.dl"))
+    rendered = report.render().splitlines()
+    assert [line.split()[1] for line in rendered] == [
+        "SYN001",  # a.dl, no span, sorts before spanned lines
+        "QRY001",  # a.dl:2:5 -- span tie broken by code
+        "QRY004",  # a.dl:2:5
+        "QRY002",  # b.dl:9:1 -- source is the major key
+    ]
+    # Insertion order is irrelevant: the same diagnostics added in any
+    # order render identically.
+    shuffled = Report()
+    for diag in reversed(list(report)):
+        shuffled.add(diag)
+    assert shuffled.render() == report.render()
+
+
+def test_report_to_json_round_trips():
+    report = Report()
+    report.add(
+        diagnostic("QRY001", "unused ?x", span=Span(3, 7, 3, 9), source="q.dl")
+    )
+    payload = json.loads(report.to_json())
+    assert payload["summary"] == {
+        "errors": 0,
+        "warnings": 0,
+        "hints": 1,
+        "total": 1,
+    }
+    (entry,) = payload["diagnostics"]
+    assert entry["code"] == "QRY001"
+    assert entry["severity"] == "hint"
+    assert entry["source"] == "q.dl"
+    assert entry["span"] == {
+        "line": 3,
+        "column": 7,
+        "end_line": 3,
+        "end_column": 9,
+    }
+
+
+def test_cli_json_format(capsys):
+    code = main(["--workload", "--format", "json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 0
+    assert {d["code"] for d in payload["diagnostics"]} == {
+        "QRY001",
+        "QRY007",
+        "ACC005",
+    }
+
+
+def test_cli_certify_flag_on_files(tmp_path, capsys):
+    target = tmp_path / "queries.dl"
+    target.write_text("Q(y) :- friend(p, y)\n")
+    schema = "person(pid, name, city); friend(pid1, pid2)"
+    code = main(
+        [
+            str(target),
+            "--schema",
+            schema,
+            "--access",
+            "friend(pid1 -> 8)",
+            "--params",
+            "p",
+            "--certify",
+            "--strict",
+        ]
+    )
+    assert code == 0  # certification found nothing, hints pass --strict
+    assert "CRT" not in capsys.readouterr().out

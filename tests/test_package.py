@@ -14,6 +14,7 @@ EXPECTED_EXPORTS = {
     "RewritingError",
     "ParseError",
     "IncrementalError",
+    "CertificationError",
     # terms and formulas
     "Variable",
     "Constant",
@@ -158,6 +159,9 @@ def test_subpackages_import():
         "repro.analysis.access",
         "repro.analysis.plans",
         "repro.analysis.views",
+        "repro.analysis.certify",
+        "repro.analysis.dataflow",
+        "repro.analysis.fixes",
         "repro.analysis.__main__",
     ):
         importlib.import_module(mod)
