@@ -213,4 +213,4 @@ __all__ = [
     "Report",
 ]
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"

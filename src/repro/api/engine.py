@@ -60,7 +60,7 @@ from repro.core.access_schema import AccessSchema
 from repro.core.executor import (
     ExecutionContext,
     PlanProfile,
-    execute_plan,
+    _execute_merged,
     merge_parameter_values,
     profile_plan,
 )
@@ -205,12 +205,13 @@ class PreparedQuery:
     ``"?p"``) or :class:`~repro.logic.terms.Variable` objects.
     """
 
-    __slots__ = ("query", "text", "_engine")
+    __slots__ = ("query", "text", "_engine", "_columns")
 
     def __init__(self, engine: "Engine", query: Query, text: str | None = None):
         self._engine = engine
         self.query = query
         self.text = text if text is not None else str(query)
+        self._columns: tuple[str, ...] | None = None
         if isinstance(query, UnionOfConjunctiveQueries):
             # The answer columns are named after the head variables, so a
             # union whose disjunct heads disagree on names would silently
@@ -240,9 +241,14 @@ class PreparedQuery:
     def columns(self) -> tuple[str, ...]:
         """The names of the answer columns (the head variables; for a
         union, all disjunct heads agree -- enforced at prepare time)."""
-        if isinstance(self.query, ConjunctiveQuery):
-            return tuple(v.name for v in self.query.head)
-        return tuple(v.name for v in self.query.disjuncts[0].head)
+        columns = self._columns
+        if columns is None:
+            if isinstance(self.query, ConjunctiveQuery):
+                columns = tuple(v.name for v in self.query.head)
+            else:
+                columns = tuple(v.name for v in self.query.disjuncts[0].head)
+            self._columns = columns
+        return columns
 
     def is_controlled(self, parameters: Iterable[object] = ()) -> bool:
         """Whether fixing ``parameters`` bounds every variable through the
@@ -306,9 +312,17 @@ class PreparedQuery:
         database = self._engine.require_database()
         plans = self._engine._plans_for(self.query, frozenset(values))
         ctx = ExecutionContext(database, views=self._engine._prepare_views(plans))
-        rows: dict[Row, None] = {}
+        if len(plans) == 1:
+            # Hot path of a parameterized workload: one plan, whose
+            # pipeline already emits deduplicated rows in order.
+            plan = plans[0]
+            rows: dict[Row, None] = dict.fromkeys(
+                _execute_merged(plan, ctx, values)
+            )
+            return ResultSet(rows, self.columns, ctx.stats, plan.fanout_bound)
+        rows = {}
         for plan in plans:
-            for row in execute_plan(plan, ctx, values):
+            for row in _execute_merged(plan, ctx, values):
                 rows.setdefault(row, None)
         fanout = sum(plan.fanout_bound for plan in plans)
         return ResultSet(rows, self.columns, ctx.stats, fanout)
@@ -635,21 +649,22 @@ class Engine:
         catalog = self._views.snapshot()
         key = (version, catalog.version, query, parameters)
 
-        def compile_one(disjunct: ConjunctiveQuery, params) -> Plan:
-            try:
-                return compile_plan(disjunct, access, params)
-            except NotControlledError as exc:
-                if not len(catalog):
-                    raise
-                # Not controlled over base data alone: try rewriting over
-                # the registered views (Section 6).  Raises a combined
-                # NotControlledError -- carrying the base failure's
-                # diagnostic -- if the views do not help either.
-                return compile_with_views(
-                    disjunct, access, catalog, params, base_error=exc
-                )
-
         def compile_all() -> tuple[Plan, ...]:
+            def compile_one(disjunct: ConjunctiveQuery, params) -> Plan:
+                try:
+                    return compile_plan(disjunct, access, params)
+                except NotControlledError as exc:
+                    if not len(catalog):
+                        raise
+                    # Not controlled over base data alone: try rewriting
+                    # over the registered views (Section 6).  Raises a
+                    # combined NotControlledError -- carrying the base
+                    # failure's diagnostic -- if the views do not help
+                    # either.
+                    return compile_with_views(
+                        disjunct, access, catalog, params, base_error=exc
+                    )
+
             # Compile with a deterministic parameter order; values are
             # matched by name at execution time, so order is cosmetic.
             params = tuple(sorted(parameters, key=lambda v: v.name))
@@ -681,7 +696,10 @@ class Engine:
         ``plans`` reads, or None when they read none.  Called right
         before execution, so view-assisted plans always run against
         views that reflect the current change-log watermark."""
-        names = frozenset().union(*(plan.view_relations for plan in plans))
+        if len(plans) == 1:
+            names: frozenset[str] = plans[0].view_relations
+        else:
+            names = frozenset().union(*(plan.view_relations for plan in plans))
         if not names:
             return None
         return self._views.prepare(self.require_database(), names)

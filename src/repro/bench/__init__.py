@@ -84,7 +84,7 @@ from repro.workloads import (
 
 #: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
 #: pipeline changes materially.
-BENCH_VERSION = 6
+BENCH_VERSION = 8
 
 DEFAULT_SIZES = (100, 1000, 10000)
 
@@ -98,6 +98,8 @@ class BenchRecord:
     mode: str  # "batched" | "per_tuple"
     executions: int
     wall_time_s: float  # best-of-repeats mean seconds per execution
+    p50_s: float  # median seconds per execution (individually timed pass)
+    p99_s: float  # 99th-percentile seconds per execution (same pass)
     rows: int  # total distinct answer rows across the parameter stream
     tuples_accessed_max: int  # worst case per execution
     fanout_bound: int
@@ -133,6 +135,8 @@ class ViewQueryRecord:
     mode: str  # "view_assisted" | "base_naive"
     executions: int
     wall_time_s: float  # best-of-repeats mean seconds per execution
+    p50_s: float  # median seconds per execution (individually timed pass)
+    p99_s: float  # 99th-percentile seconds per execution (same pass)
     rows: int  # total distinct answer rows across the parameter stream
     tuples_accessed_max: int  # worst case per execution
     fanout_bound: int  # the view-assisted plan's bound (0 for naive)
@@ -184,6 +188,42 @@ def _time_executions(plan, db, runner, param_values, repeats: int) -> float:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed / len(param_values))
     return best
+
+
+#: Minimum individually-timed samples behind a percentile estimate; the
+#: sampling passes loop the parameter stream until they have this many.
+LATENCY_SAMPLES = 200
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    """(p50, p99) of ``samples`` by the nearest-rank method."""
+    if not samples:
+        return 0.0, 0.0
+    ordered = sorted(samples)
+    n = len(ordered)
+    p50 = ordered[max(0, -(-n // 2) - 1)]
+    p99 = ordered[max(0, -(-99 * n // 100) - 1)]
+    return p50, p99
+
+
+def _latency_percentiles(
+    fn, param_values, minimum: int = LATENCY_SAMPLES
+) -> tuple[float, float]:
+    """(p50, p99) wall seconds per execution of ``fn(values)``.
+
+    The mean (``wall_time_s``) keeps its bulk-timed methodology -- one
+    clock read around the whole parameter stream, comparable across bench
+    versions -- so percentiles come from a separate pass that times every
+    execution individually, looping the stream until at least ``minimum``
+    samples exist."""
+    samples: list[float] = []
+    clock = time.perf_counter
+    while len(samples) < minimum:
+        for values in param_values:
+            start = clock()
+            fn(values)
+            samples.append(clock() - start)
+    return _percentiles(samples)
 
 
 def _run_churn(
@@ -346,6 +386,7 @@ def _run_views(
             for values in param_values:
                 prepared.execute(values)
             best = min(best, (time.perf_counter() - start) / len(param_values))
+        p50, p99 = _latency_percentiles(prepared.execute, param_values)
         records.append(
             ViewQueryRecord(
                 query=bundle.name,
@@ -353,6 +394,8 @@ def _run_views(
                 mode="view_assisted",
                 executions=len(param_values) * repeats,
                 wall_time_s=best,
+                p50_s=p50,
+                p99_s=p99,
                 rows=len(rows),
                 tuples_accessed_max=tuples_max,
                 fanout_bound=bound,
@@ -385,6 +428,9 @@ def _run_views(
             for values in param_values:
                 cq.evaluate(db, values)
             best = min(best, (time.perf_counter() - start) / len(param_values))
+        p50, p99 = _latency_percentiles(
+            lambda values: cq.evaluate(db, values), param_values
+        )
         records.append(
             ViewQueryRecord(
                 query=bundle.name,
@@ -392,6 +438,8 @@ def _run_views(
                 mode="base_naive",
                 executions=len(param_values) * repeats,
                 wall_time_s=best,
+                p50_s=p50,
+                p99_s=p99,
                 rows=len(naive_rows),
                 tuples_accessed_max=naive_tuples_max,
                 fanout_bound=0,
@@ -526,6 +574,9 @@ def run_bench(
                     plan, db, runner, param_values
                 )
                 wall = _time_executions(plan, db, runner, param_values, repeats)
+                p50, p99 = _latency_percentiles(
+                    lambda values: runner(plan, db, values), param_values
+                )
                 records.append(
                     BenchRecord(
                         query=bundle.name,
@@ -533,6 +584,8 @@ def run_bench(
                         mode=mode,
                         executions=len(param_values) * repeats,
                         wall_time_s=wall,
+                        p50_s=p50,
+                        p99_s=p99,
                         rows=rows,
                         tuples_accessed_max=tuples_max,
                         fanout_bound=plan.fanout_bound,

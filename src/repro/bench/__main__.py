@@ -93,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output JSON path (default: BENCH_<version>.json in the cwd)",
     )
+    parser.add_argument(
+        "--assert-speedup-floor",
+        type=float,
+        default=None,
+        metavar="FLOOR",
+        help="exit nonzero unless every query's batched-vs-per-tuple "
+        "speedup at the largest size is at least FLOOR (CI guard against "
+        "executor regressions)",
+    )
     args = parser.parse_args(argv)
 
     doc = run_bench(
@@ -211,6 +220,24 @@ def main(argv: list[str] | None = None) -> int:
             f"plan cache @ size {size}: {cache['hits']} hits / "
             f"{cache['misses']} misses (hit rate {cache['hit_rate']:.2f})"
         )
+    if args.assert_speedup_floor is not None:
+        floor = args.assert_speedup_floor
+        slow = {
+            name: entry["speedup_at_largest"]
+            for name, entry in doc["summary"].items()
+            if "speedup_at_largest" in entry
+            and entry["speedup_at_largest"] < floor
+        }
+        if slow:
+            detail = ", ".join(
+                f"{name}={speedup:.2f}x" for name, speedup in sorted(slow.items())
+            )
+            print(
+                f"SPEEDUP FLOOR VIOLATED: {detail} below required {floor:.2f}x "
+                f"at size {max(doc['sizes'])}"
+            )
+            return 1
+        print(f"speedup floor {floor:.2f}x satisfied at size {max(doc['sizes'])}")
     return 0
 
 

@@ -17,16 +17,26 @@ from repro.core.controllability import (
     coverage,
     is_controlled,
 )
+from repro.core.columnar import (
+    ColumnarBatch,
+    PipelineCache,
+    PipelineCacheStats,
+    SignedColumnarBatch,
+    SlotTable,
+)
 from repro.core.executor import (
     FetchOp,
     FilterOp,
     OperatorProfile,
+    Pipeline,
     PlanProfile,
     ProbeOp,
     ProjectDedupOp,
     build_pipeline,
     execute_per_tuple,
     execute_plan,
+    pipeline_cache_stats,
+    pipeline_for,
     profile_plan,
 )
 from repro.core.plans import FetchStep, Plan, ProbeStep, StepCost, compile_plan
@@ -55,7 +65,15 @@ __all__ = [
     "ProjectDedupOp",
     "OperatorProfile",
     "PlanProfile",
+    "Pipeline",
+    "SlotTable",
+    "ColumnarBatch",
+    "SignedColumnarBatch",
+    "PipelineCache",
+    "PipelineCacheStats",
     "build_pipeline",
+    "pipeline_for",
+    "pipeline_cache_stats",
     "execute_plan",
     "execute_per_tuple",
     "profile_plan",

@@ -1,30 +1,53 @@
-"""Batch-at-a-time physical execution of scale-independent plans.
+"""Columnar batch-at-a-time physical execution of scale-independent plans.
 
 :mod:`repro.core.plans` is the *planner*: :func:`~repro.core.plans.compile_plan`
 turns a controlled conjunctive query into an ordered sequence of
 fetch/probe steps plus a head projection.  This module is the *executor*:
-it lowers those steps into a pipeline of physical operators that process
-**batches** of binding dicts iteratively -- no Python recursion, and one
-bulk database call (:meth:`~repro.relational.instance.Database.lookup_many`
-/ :meth:`~repro.relational.instance.Database.contains_many`) per operator
-instead of one :meth:`lookup`/:meth:`contains` per partial assignment.
+it lowers those steps into a pipeline of physical operators over a
+**columnar** batch representation (:class:`~repro.core.columnar.ColumnarBatch`:
+one Python list per variable slot, the variable-to-slot mapping compiled
+once per plan into a :class:`~repro.core.columnar.SlotTable`).  No
+per-row dict exists on the hot path: operators resolve variables to list
+indexes at lowering time, build whole key columns with one ``zip``, and
+expand join matches as a ``take`` list of source indices plus fresh
+columns for newly bound variables.  Constants are interned at lowering
+time (:mod:`repro.relational.interning`) so every lookup key hashes once
+and compares by identity first.
 
 The operators:
 
 * :class:`FilterOp` -- enforce the compile-time equality constraints that
   involve plan parameters (a parameter equated to a constant or to another
   parameter) and propagate parameter values onto their equality-class
-  representatives.  Only appears when the query's equalities demand it.
-* :class:`FetchOp` -- one :meth:`lookup_many` for the whole batch, keyed on
+  representatives.  Only appears when the query's equalities demand it,
+  and is fused into the seed on the hot path (:func:`execute_plan`
+  evaluates it on the parameter dict before the first batch exists).
+* :class:`FetchOp` -- one :meth:`lookup_keys` for the whole batch, keyed on
   the positions that are statically known to be bound at this point of the
-  pipeline, then join each group of rows back to its source assignment
+  pipeline, then join each group of rows back to its source row
   (consistency-checked for repeated variables; embedded access rules
   additionally filter on residual bound positions and deduplicate output
   projections, mirroring their ``R(X -> Y, N)`` semantics).
 * :class:`ProbeOp` -- verify a fully-bound atom for the whole batch with
-  one :meth:`contains_many` call.
-* :class:`ProjectDedupOp` -- project the surviving assignments onto the
-  head terms and deduplicate, preserving first-derivation order.
+  one :meth:`contains_rows` call.
+* :class:`ProjectDedupOp` -- project the surviving rows onto the head
+  terms and deduplicate, preserving first-derivation order.
+
+Two lowering-time optimizations ride on the columnar form (both are
+profile-driven: ``profile_plan`` / ``explain_analyze`` record per-operator
+wall time, and the pre-columnar profiles showed the terminal
+fetch-then-project pair dominated by row materialization):
+
+* **dead-column elimination** -- a backward liveness pass assigns every
+  operator the ``keep`` set of variables some later operator still reads;
+  gathers skip dead columns entirely.
+* **terminal fusion** -- a pipeline ending in fetch-then-project lowers to
+  one :class:`_FusedFetchProject` on the hot path: head rows are emitted
+  straight from the fetch's row groups, so the final batch is never
+  materialized.  The unfused operator sequence is what :func:`pipeline_for`
+  returns (tests, profiles and the delta driver see individual operators);
+  the fused sequence lives on the :class:`Pipeline`'s ``fused`` attribute
+  and is what :func:`execute_plan` runs.
 
 Because the bulk access methods resolve each *distinct* key once per
 batch, batched execution touches at most -- and on skewed workloads far
@@ -45,7 +68,9 @@ a raw :class:`~repro.relational.instance.Database` (a fresh context is
 opened) or an existing context.
 
 On top of the standard path, every data operator has a *delta* face for
-incremental scale independence (:mod:`repro.incremental`, Section 5):
+incremental scale independence (:mod:`repro.incremental`, Section 5),
+vectorized over :class:`~repro.core.columnar.SignedColumnarBatch` (a
+batch plus per-row derivation signs):
 
 * ``run_delta`` joins a batch against the in-memory change slice of the
   operator's relation instead of the stored data (zero tuples accessed);
@@ -66,21 +91,29 @@ that makes signed deltas composable under deletion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from sys import intern as _intern
+from time import perf_counter
 from typing import Iterator, Mapping, Sequence
 
 from repro.core.access_schema import AccessRule, EmbeddedAccessRule
+from repro.core.columnar import (
+    EMPTY_KEY,
+    ColumnarBatch,
+    PipelineCache,
+    PipelineCacheStats,
+    SignedColumnarBatch,
+    SlotTable,
+)
 from repro.core.plans import FetchStep, Plan, ProbeStep
 from repro.errors import IncrementalError, SchemaError
 from repro.logic.ast import Atom, _as_variable
 from repro.logic.evaluation import _bound_pattern, _extend, row_matches
 from repro.logic.terms import Constant, Term, Variable
 from repro.relational.instance import AccessStats, NetDelta, _plain
+from repro.relational.interning import intern_value
 
 Row = tuple[object, ...]
 Assignment = dict[Variable, object]
-Batch = list[Assignment]
-#: A batch whose assignments carry a derivation sign (+1 gained, -1 lost).
-SignedBatch = list[tuple[Assignment, int]]
 
 
 def _rewind_groups(
@@ -104,6 +137,29 @@ def _rewind_groups(
         )
         adjusted.append(rows + restored)
     return tuple(adjusted)
+
+
+def _rewind_key_groups(
+    groups: Sequence[tuple[Row, ...]],
+    positions: tuple[int, ...],
+    keys: Sequence[Row],
+    net: Mapping[Row, int],
+) -> Sequence[tuple[Row, ...]]:
+    """:func:`_rewind_groups` for the columnar key form: one shared
+    ``positions`` tuple, one key per group."""
+    if not net:
+        return groups
+    deleted = [row for row, sign in net.items() if sign < 0]
+    adjusted: list[tuple[Row, ...]] = []
+    for key, rows in zip(keys, groups):
+        rows = tuple(row for row in rows if net.get(row, 0) <= 0)
+        restored = tuple(
+            row
+            for row in deleted
+            if all(row[p] == v for p, v in zip(positions, key))
+        )
+        adjusted.append(rows + restored)
+    return adjusted
 
 
 def _rewind_membership(
@@ -146,7 +202,7 @@ class ExecutionContext:
 
     ``views`` maps materialized-view names to their states
     (:class:`repro.views.ViewState` or anything with the same
-    ``lookup``/``lookup_many``/``contains_many`` surface): view-assisted
+    ``lookup``/``lookup_keys``/``contains_rows`` surface): view-assisted
     plans (:mod:`repro.views`) read views through the ``view_*`` methods
     below, charged to this execution's :attr:`stats` only -- the database
     cumulative counters see base-table traffic exclusively.  For delta
@@ -157,7 +213,7 @@ class ExecutionContext:
     __slots__ = (
         "db",
         "stats",
-        "watermark",
+        "_watermark",
         "delta",
         "views",
         "_delta_rows",
@@ -175,17 +231,32 @@ class ExecutionContext:
     ):
         self.db = db
         self.stats = AccessStats() if stats is None else stats
-        self.watermark = db.change_log.watermark if watermark is None else watermark
+        self._watermark = watermark
         self.delta = delta
         self.views = views
         # Derived views of the slice (row tuples, per-position indexes).
         # ``caches`` lets consumers of one identical slice share them
         # across contexts (see ChangeLog.slice_caches); by default they
-        # are private to this context.
+        # are private to this context and allocated lazily -- the
+        # standard execute path never touches the slice.
         if caches is None:
-            caches = ({}, {})
-        self._delta_rows: dict[str, tuple[tuple[Row, int], ...]] = caches[0]
-        self._delta_index: dict[tuple, dict[Row, list[tuple[Row, int]]]] = caches[1]
+            self._delta_rows: dict[str, tuple[tuple[Row, int], ...]] | None = None
+            self._delta_index: (
+                dict[tuple, dict[Row, list[tuple[Row, int]]]] | None
+            ) = None
+        else:
+            self._delta_rows = caches[0]
+            self._delta_index = caches[1]
+
+    @property
+    def watermark(self) -> int:
+        """The change-log position this execution is positioned at
+        (resolved lazily: the standard hot path never reads the log)."""
+        mark = self._watermark
+        if mark is None:
+            mark = self.db.change_log.watermark
+            self._watermark = mark
+        return mark
 
     def __repr__(self) -> str:
         delta = sum(len(rows) for rows in (self.delta or {}).values())
@@ -204,6 +275,15 @@ class ExecutionContext:
     ) -> tuple[tuple[Row, ...], ...]:
         return self.db.lookup_many(relation, patterns, self.stats)
 
+    def lookup_keys(
+        self, relation: str, positions: tuple[int, ...], keys: Sequence[Row]
+    ) -> Sequence[tuple[Row, ...]]:
+        """Bulk lookup in the columnar executor's native form: every key
+        constrains the same (sorted) ``positions``, so the index is
+        resolved once for the batch; distinct keys are fetched -- and
+        accounted -- once, exactly like :meth:`lookup_many`."""
+        return self.db.lookup_keys(relation, positions, keys, self.stats)
+
     def contains(self, relation: str, row: Sequence[object]) -> bool:
         return self.db.contains(relation, row, self.stats)
 
@@ -211,6 +291,14 @@ class ExecutionContext:
         self, relation: str, rows: Sequence[Sequence[object]]
     ) -> tuple[bool, ...]:
         return self.db.contains_many(relation, rows, self.stats)
+
+    def contains_rows(
+        self, relation: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        """Bulk membership for pre-shaped row tuples (the columnar probe
+        builds them straight from batch columns); distinct rows are probed
+        -- and accounted -- once, exactly like :meth:`contains_many`."""
+        return self.db.contains_rows(relation, rows, self.stats)
 
     def scan(self, relation: str) -> tuple[Row, ...]:
         return self.db.scan(relation, self.stats)
@@ -223,10 +311,13 @@ class ExecutionContext:
 
     def delta_rows(self, relation: str) -> tuple[tuple[Row, int], ...]:
         """The slice of ``relation`` as ``(row, sign)`` pairs (memoized)."""
-        rows = self._delta_rows.get(relation)
+        cache = self._delta_rows
+        if cache is None:
+            cache = self._delta_rows = {}
+        rows = cache.get(relation)
         if rows is None:
             rows = tuple(self.delta_net(relation).items())
-            self._delta_rows[relation] = rows
+            cache[relation] = rows
         return rows
 
     def delta_index(
@@ -237,7 +328,10 @@ class ExecutionContext:
         join costs O(batch + slice) instead of their product (memoized per
         (relation, positions))."""
         key = (relation, positions)
-        index = self._delta_index.get(key)
+        cache = self._delta_index
+        if cache is None:
+            cache = self._delta_index = {}
+        index = cache.get(key)
         if index is None:
             index = {}
             for row, sign in self.delta_rows(relation):
@@ -259,6 +353,14 @@ class ExecutionContext:
         groups = self.db.lookup_many(relation, patterns, self.stats)
         return _rewind_groups(groups, patterns, self.delta_net(relation))
 
+    def lookup_keys_old(
+        self, relation: str, positions: tuple[int, ...], keys: Sequence[Row]
+    ) -> Sequence[tuple[Row, ...]]:
+        """:meth:`lookup_keys` against the pre-delta snapshot (live index
+        answers corrected in memory by the change slice)."""
+        groups = self.db.lookup_keys(relation, positions, keys, self.stats)
+        return _rewind_key_groups(groups, positions, keys, self.delta_net(relation))
+
     def contains_many_old(
         self, relation: str, rows: Sequence[Row]
     ) -> tuple[bool, ...]:
@@ -269,6 +371,16 @@ class ExecutionContext:
             rows,
             self.delta_net(relation),
             lambda unknown: self.db.contains_many(relation, unknown, self.stats),
+        )
+
+    def contains_rows_old(
+        self, relation: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        """:meth:`contains_rows` against the pre-delta snapshot."""
+        return _rewind_membership(
+            rows,
+            self.delta_net(relation),
+            lambda unknown: self.db.contains_rows(relation, unknown, self.stats),
         )
 
     # -- materialized-view reads ------------------------------------------
@@ -300,6 +412,11 @@ class ExecutionContext:
     ) -> tuple[tuple[Row, ...], ...]:
         return self._view(name).lookup_many(patterns, self.stats)
 
+    def view_lookup_keys(
+        self, name: str, positions: tuple[int, ...], keys: Sequence[Row]
+    ) -> Sequence[tuple[Row, ...]]:
+        return self._view(name).lookup_keys(positions, keys, self.stats)
+
     def view_contains(self, name: str, row: Sequence[object]) -> bool:
         return self._view(name).contains(row, self.stats)
 
@@ -307,6 +424,11 @@ class ExecutionContext:
         self, name: str, rows: Sequence[Sequence[object]]
     ) -> tuple[bool, ...]:
         return self._view(name).contains_many(rows, self.stats)
+
+    def view_contains_rows(
+        self, name: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        return self._view(name).contains_rows(rows, self.stats)
 
     def view_lookup_many_old(
         self, name: str, patterns: Sequence[Mapping[int, object]]
@@ -316,6 +438,12 @@ class ExecutionContext:
         groups = self._view(name).lookup_many(patterns, self.stats)
         return _rewind_groups(groups, patterns, self.delta_net(name))
 
+    def view_lookup_keys_old(
+        self, name: str, positions: tuple[int, ...], keys: Sequence[Row]
+    ) -> Sequence[tuple[Row, ...]]:
+        groups = self._view(name).lookup_keys(positions, keys, self.stats)
+        return _rewind_key_groups(groups, positions, keys, self.delta_net(name))
+
     def view_contains_many_old(
         self, name: str, rows: Sequence[Row]
     ) -> tuple[bool, ...]:
@@ -323,6 +451,15 @@ class ExecutionContext:
             rows,
             self.delta_net(name),
             lambda unknown: self._view(name).contains_many(unknown, self.stats),
+        )
+
+    def view_contains_rows_old(
+        self, name: str, rows: Sequence[Row]
+    ) -> tuple[bool, ...]:
+        return _rewind_membership(
+            rows,
+            self.delta_net(name),
+            lambda unknown: self._view(name).contains_rows(unknown, self.stats),
         )
 
 
@@ -335,42 +472,113 @@ def _term_value(term: Term, assignment: Mapping[Variable, object]) -> object:
     return term.value if isinstance(term, Constant) else assignment[term]
 
 
+def _resolve(term: Term) -> tuple[bool, object]:
+    """A term as a lowered ``(is_const, ref)`` pair: the (interned)
+    constant value, or the variable itself."""
+    if isinstance(term, Constant):
+        return (True, intern_value(term.value))
+    return (False, term)
+
+
+def _gather(batch: ColumnarBatch, rows: list[int], keep) -> ColumnarBatch:
+    """``batch.select(rows)`` with dead-column elimination: columns whose
+    variable is outside ``keep`` (when given) are dropped instead of
+    gathered -- no later operator reads them."""
+    columns: list[list | None] = []
+    for v, col in zip(batch.slots.variables, batch.columns):
+        if col is None or (keep is not None and v not in keep):
+            columns.append(None)
+        else:
+            columns.append([col[r] for r in rows])
+    return ColumnarBatch(batch.slots, columns, len(rows))
+
+
+def _drop_dead(batch: ColumnarBatch, keep) -> ColumnarBatch:
+    """``batch`` with dead columns dropped (no row copies)."""
+    if keep is None:
+        return batch
+    columns = [
+        col if col is None or v in keep else None
+        for v, col in zip(batch.slots.variables, batch.columns)
+    ]
+    return ColumnarBatch(batch.slots, columns, batch.length)
+
+
 @dataclass(frozen=True)
 class FilterOp:
     """Filter a batch on compile-time-known equality ``conditions`` (pairs
     of terms whose values must agree) and copy parameter values onto their
     equality-class representatives (``binds``: source -> target variable).
+
+    On the hot path this operator is fused away: :func:`execute_plan`
+    evaluates the conditions and binds directly on the length-1 seed
+    assignment before the first batch is built (see
+    :attr:`Pipeline.prefilter`).  The columnar :meth:`run` face remains
+    for the unfused paths (profiles, counting, the delta driver).
     """
 
     conditions: tuple[tuple[Term, Term], ...] = ()
     binds: tuple[tuple[Variable, Variable], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "_cond_items",
+            tuple((_resolve(a), _resolve(b)) for a, b in self.conditions),
+        )
 
     def __str__(self) -> str:
         parts = [f"{a} = {b}" for a, b in self.conditions]
         parts += [f"?{target} := ?{source}" for source, target in self.binds]
         return "filter " + ", ".join(parts)
 
-    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
-        out: Batch = []
-        for assignment in batch:
-            if any(
-                _term_value(a, assignment) != _term_value(b, assignment)
-                for a, b in self.conditions
-            ):
-                continue
-            if self.binds:
-                assignment = dict(assignment)
-                for source, target in self.binds:
-                    assignment[target] = assignment[source]
-            out.append(assignment)
-        return out
+    def check_seed(self, seed: Assignment) -> bool:
+        """Evaluate the conditions on a seed assignment and apply the
+        binds in place -- the fused form of :meth:`run` for the length-1
+        entry batch."""
+        for (a_const, a_ref), (b_const, b_ref) in self._cond_items:
+            a = a_ref if a_const else seed[a_ref]
+            b = b_ref if b_const else seed[b_ref]
+            if a != b:
+                return False
+        for source, target in self.binds:
+            seed[target] = seed[source]
+        return True
+
+    def run(self, ctx: ExecutionContext, batch: ColumnarBatch) -> ColumnarBatch:
+        n = batch.length
+        if not n:
+            return batch
+        sel: list[int] | None = None
+        for (a_const, a_ref), (b_const, b_ref) in self._cond_items:
+            sa = [a_ref] * n if a_const else batch.column(a_ref)
+            sb = [b_ref] * n if b_const else batch.column(b_ref)
+            if sel is None:
+                sel = [i for i in range(n) if sa[i] == sb[i]]
+            else:
+                sel = [i for i in sel if sa[i] == sb[i]]
+        if sel is not None and len(sel) != n:
+            batch = batch.select(sel)
+        if self.binds and batch.length:
+            slots = batch.slots
+            columns = list(batch.columns)
+            for source, target in self.binds:
+                col = batch.column(source)
+                idx = slots.index.get(target)
+                if idx is None:
+                    slots = slots.extend([target])
+                    columns.append(col)
+                else:
+                    columns[idx] = col
+            batch = ColumnarBatch(slots, columns, batch.length)
+        return batch
 
 
 @dataclass(frozen=True)
 class FetchOp:
     """Fetch ``atom``'s matching tuples for a whole batch with one
-    :meth:`lookup_many` keyed on ``key_positions``, then join each row
-    group back to its source assignment.
+    :meth:`lookup_keys` call keyed on ``key_positions``, then join each
+    row group back to its source row.
 
     ``check_positions`` are bound positions outside the lookup key (they
     arise under embedded access rules, whose access path is keyed on the
@@ -378,12 +586,14 @@ class FetchOp:
     ``bind_positions`` are the variable positions the fetch newly binds --
     a repeated new variable must bind consistently across its positions.
     ``dedup_positions`` (embedded rules only) deduplicate the fetched
-    output projections per source assignment, matching the rule's
-    "at most N distinct Y-projections" contract.  ``rule`` is the access
-    rule the originating :class:`~repro.core.plans.FetchStep` fetches
-    through (``None`` for hand-built operators): it plays no part in
-    execution, but lets diagnostics and error messages name the exact
-    rule behind an operator.
+    output projections per source row, matching the rule's "at most N
+    distinct Y-projections" contract.  ``rule`` is the access rule the
+    originating :class:`~repro.core.plans.FetchStep` fetches through
+    (``None`` for hand-built operators): it plays no part in execution,
+    but lets diagnostics and error messages name the exact rule behind an
+    operator.  ``keep`` (assigned by the lowering's liveness pass; ``None``
+    keeps everything) names the variables still read downstream -- output
+    columns outside it are dropped instead of gathered.
     """
 
     atom: Atom
@@ -392,49 +602,48 @@ class FetchOp:
     bind_positions: tuple[int, ...]
     dedup_positions: tuple[int, ...] | None = None
     rule: AccessRule | None = None
+    keep: frozenset[Variable] | None = None
 
     def __post_init__(self):
         # Pre-resolve every term access so the per-row loops below touch
         # no Atom/Term machinery (frozen dataclass: set via object).
         terms = self.atom.terms
+        # The lookup key in sorted-position order (the form the database
+        # indexes on) and in declared order (the form the in-memory delta
+        # index of run_delta is keyed on, shared across executors).
         object.__setattr__(
             self,
-            "_key_consts",
-            tuple(
-                (p, terms[p].value)
-                for p in self.key_positions
-                if isinstance(terms[p], Constant)
-            ),
+            "_sorted_positions",
+            tuple(sorted(self.key_positions)),
         )
         object.__setattr__(
             self,
-            "_key_vars",
-            tuple(
-                (p, terms[p])
-                for p in self.key_positions
-                if not isinstance(terms[p], Constant)
-            ),
-        )
-        object.__setattr__(
-            self,
-            "_check_items",
-            tuple(
-                (p, isinstance(terms[p], Constant),
-                 terms[p].value if isinstance(terms[p], Constant) else terms[p])
-                for p in self.check_positions
-            ),
-        )
-        object.__setattr__(
-            self, "_bind_items", tuple((p, terms[p]) for p in self.bind_positions)
+            "_sorted_key",
+            tuple(_resolve(terms[p]) for p in self._sorted_positions),
         )
         object.__setattr__(
             self,
             "_key_items",
-            tuple(
-                (isinstance(terms[p], Constant),
-                 terms[p].value if isinstance(terms[p], Constant) else terms[p])
-                for p in self.key_positions
-            ),
+            tuple(_resolve(terms[p]) for p in self.key_positions),
+        )
+        check_items = [
+            (p, *_resolve(terms[p])) for p in self.check_positions
+        ]
+        # A constant at a bind position is a residual equality check, not
+        # a binding (the planner never emits one; hand-built operators
+        # get the per-tuple semantics).
+        bind_groups: dict[Variable, list[int]] = {}
+        for p in self.bind_positions:
+            term = terms[p]
+            if isinstance(term, Constant):
+                check_items.append((p, True, intern_value(term.value)))
+            else:
+                bind_groups.setdefault(term, []).append(p)
+        object.__setattr__(self, "_check_items", tuple(check_items))
+        object.__setattr__(
+            self,
+            "_bind_groups",
+            tuple((term, tuple(ps)) for term, ps in bind_groups.items()),
         )
 
     def __str__(self) -> str:
@@ -443,66 +652,193 @@ class FetchOp:
             f" binding {binds}" if binds else ""
         )
 
-    def _patterns(self, assignments) -> list[dict[int, object]]:
-        key_consts = self._key_consts
-        key_vars = self._key_vars
-        patterns = []
-        for assignment in assignments:
-            pattern = dict(key_consts)
-            for p, var in key_vars:
-                pattern[p] = assignment[var]
-            patterns.append(pattern)
-        return patterns
-
     # The lookup source, overridden by ViewScanOp to read a view store
     # instead of the database; every other line of run/run_old/run_delta
     # is shared.
 
-    def _lookup_many(self, ctx: ExecutionContext, patterns):
-        return ctx.lookup_many(self.atom.relation, patterns)
+    def _lookup_keys(self, ctx: ExecutionContext, positions, keys):
+        return ctx.lookup_keys(self.atom.relation, positions, keys)
 
-    def _lookup_many_old(self, ctx: ExecutionContext, patterns):
-        return ctx.lookup_many_old(self.atom.relation, patterns)
+    def _lookup_keys_old(self, ctx: ExecutionContext, positions, keys):
+        return ctx.lookup_keys_old(self.atom.relation, positions, keys)
 
-    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
-        groups = self._lookup_many(ctx, self._patterns(batch))
-        check_items = self._check_items
-        bind_items = self._bind_items
-        dedup_positions = self.dedup_positions
-        out: Batch = []
-        append = out.append
-        for assignment, rows in zip(batch, groups):
+    def _keys(self, batch: ColumnarBatch) -> list[Row]:
+        """The batch's lookup-key column (sorted-position order)."""
+        n = batch.length
+        skey = self._sorted_key
+        if not skey:
+            return [EMPTY_KEY] * n
+        if len(skey) == 1:
+            is_const, ref = skey[0]
+            if is_const:
+                return [(ref,)] * n
+            return [(v,) for v in batch.column(ref)]
+        seqs = [
+            [ref] * n if is_const else batch.column(ref) for is_const, ref in skey
+        ]
+        return list(zip(*seqs))
+
+    def _resolve_checks(self, batch: ColumnarBatch) -> list[tuple]:
+        """``check_positions`` resolved against this batch: ``(position,
+        column-or-None, constant)`` triples."""
+        return [
+            (p, None, ref) if is_const else (p, batch.column(ref), None)
+            for p, is_const, ref in self._check_items
+        ]
+
+    def _resolve_binds(self, batch: ColumnarBatch, *, stores: bool) -> list[tuple]:
+        """``bind_positions`` resolved against this batch: ``(store,
+        positions, prebound-column, variable)`` per distinct variable.
+        ``store`` is the fresh output column to fill (``None`` when the
+        variable is already bound -- consistency check only -- or dead)."""
+        keep = self.keep
+        specs = []
+        for term, ps in self._bind_groups:
+            col = batch.column_or_none(term)
+            store = (
+                []
+                if stores and col is None and (keep is None or term in keep)
+                else None
+            )
+            specs.append((store, ps, col, term))
+        return specs
+
+    def _walk(
+        self,
+        groups,
+        check_specs,
+        bind_specs,
+        take: list[int],
+        signs_in=None,
+        signs_out=None,
+        signed_rows: bool = False,
+        dedup: tuple[int, ...] | None = None,
+    ) -> None:
+        """The general expansion loop shared by every face: per source row
+        ``i`` and fetched row, apply residual checks, per-source dedup and
+        bind-consistency, then record the match (source index into
+        ``take``, signed multiplicity into ``signs_out``, fresh bind
+        values into the bind stores)."""
+        append = take.append
+        row_sign = 1
+        for i, rows in enumerate(groups):
             if not rows:
                 continue
-            seen: set[Row] | None = set() if dedup_positions is not None else None
-            for row in rows:
+            seen: set[Row] | None = set() if dedup is not None else None
+            for entry in rows:
+                if signed_rows:
+                    row, row_sign = entry
+                else:
+                    row = entry
                 ok = True
-                for p, is_const, ref in check_items:
-                    if (ref if is_const else assignment[ref]) != row[p]:
+                for p, col, const in check_specs:
+                    if (const if col is None else col[i]) != row[p]:
                         ok = False
                         break
                 if not ok:
                     continue
                 if seen is not None:
-                    projection = tuple(row[p] for p in dedup_positions)
+                    projection = tuple(row[p] for p in dedup)
                     if projection in seen:
                         continue
                     seen.add(projection)
-                extended = dict(assignment)
-                for p, term in bind_items:
-                    if term in extended:
-                        if extended[term] != row[p]:
+                pending = None
+                for store, ps, col, _ in bind_specs:
+                    if col is None:
+                        v = row[ps[0]]
+                        rest = ps[1:]
+                    else:
+                        v = col[i]
+                        rest = ps
+                    for q in rest:
+                        if row[q] != v:
                             ok = False
                             break
-                    else:
-                        extended[term] = row[p]
-                if ok:
-                    append(extended)
-        return out
+                    if not ok:
+                        break
+                    if store is not None:
+                        if pending is None:
+                            pending = []
+                        pending.append((store, v))
+                if not ok:
+                    continue
+                append(i)
+                if signs_out is not None:
+                    signs_out.append(
+                        signs_in[i] * row_sign if signed_rows else signs_in[i]
+                    )
+                if pending is not None:
+                    for store, v in pending:
+                        store.append(v)
+
+    def _finish(
+        self, batch: ColumnarBatch, take: list[int], bind_specs
+    ) -> ColumnarBatch:
+        """Assemble the output batch: gather the surviving (live) input
+        columns at ``take`` and install the freshly bound columns."""
+        out = _gather(batch, take, self.keep)
+        fresh = [(term, store) for store, _, _, term in bind_specs if store is not None]
+        if not fresh:
+            return out
+        slots = out.slots
+        columns = out.columns
+        missing = [term for term, _ in fresh if term not in slots.index]
+        if missing:
+            slots = slots.extend(missing)
+            columns = columns + [None] * (len(slots) - len(columns))
+        for term, store in fresh:
+            columns[slots.index[term]] = store
+        return ColumnarBatch(slots, columns, out.length)
+
+    def run(self, ctx: ExecutionContext, batch: ColumnarBatch) -> ColumnarBatch:
+        if not batch.length:
+            return _drop_dead(batch, self.keep)
+        groups = self._lookup_keys(ctx, self._sorted_positions, self._keys(batch))
+        check_specs = self._resolve_checks(batch)
+        bind_specs = self._resolve_binds(batch, stores=True)
+        take: list[int] = []
+        if (
+            not check_specs
+            and self.dedup_positions is None
+            and all(col is None and len(ps) == 1 for _, ps, col, _ in bind_specs)
+        ):
+            # Fast path (every planner-emitted plain fetch): no residual
+            # checks, no per-source dedup, each bind variable fresh at a
+            # single position -- the join is a pure expansion.
+            append = take.append
+            stores = [
+                (store, ps[0]) for store, ps, _, _ in bind_specs if store is not None
+            ]
+            if len(stores) == 1:
+                (store, p0) = stores[0]
+                push = store.append
+                for i, rows in enumerate(groups):
+                    for row in rows:
+                        append(i)
+                        push(row[p0])
+            elif not stores:
+                for i, rows in enumerate(groups):
+                    for row in rows:
+                        append(i)
+            else:
+                for i, rows in enumerate(groups):
+                    for row in rows:
+                        append(i)
+                        for store, p0 in stores:
+                            store.append(row[p0])
+        else:
+            self._walk(
+                groups,
+                check_specs,
+                bind_specs,
+                take,
+                dedup=self.dedup_positions,
+            )
+        return self._finish(batch, take, bind_specs)
 
     def _check_delta_supported(self) -> None:
         # An embedded-rule fetch deduplicates output projections *per
-        # source assignment*, so its derivation count is not a product of
+        # source row*, so its derivation count is not a product of
         # per-level multiplicities and signed deltas cannot be exact.
         if self.dedup_positions is not None:
             rule = f" '{self.rule}'" if self.rule is not None else ""
@@ -513,134 +849,151 @@ class FetchOp:
                 f"{self.atom.relation!r} to refresh this query incrementally"
             )
 
-    def _extend_signed(self, assignment: Assignment, row: Row) -> Assignment | None:
-        """Extend ``assignment`` with ``row``'s bind positions, or None on a
-        repeated-variable mismatch (the slow-path twin of the inlined loop
-        in :meth:`run`)."""
-        extended = dict(assignment)
-        for p, term in self._bind_items:
-            if term in extended:
-                if extended[term] != row[p]:
-                    return None
-            else:
-                extended[term] = row[p]
-        return extended
-
-    def run_delta(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+    def run_delta(
+        self, ctx: ExecutionContext, batch: SignedColumnarBatch
+    ) -> SignedColumnarBatch:
         """Join a signed batch against the net change slice of ``atom``'s
         relation -- the delta face of :meth:`run`.  The slice lives in
         memory, so this accesses zero stored tuples."""
         self._check_delta_supported()
-        if not batch or not ctx.delta_net(self.atom.relation):
-            return []
-        out: SignedBatch = []
+        source = batch.batch
+        n = source.length
+        if not n or not ctx.delta_net(self.atom.relation):
+            return SignedColumnarBatch.empty(source.slots)
         if self.key_positions:
             index = ctx.delta_index(self.atom.relation, self.key_positions)
             key_items = self._key_items
-            for assignment, sign in batch:
-                key = tuple(
-                    ref if is_const else assignment[ref] for is_const, ref in key_items
+            if len(key_items) == 1:
+                is_const, ref = key_items[0]
+                keys = (
+                    [(ref,)] * n if is_const else [(v,) for v in source.column(ref)]
                 )
-                for row, row_sign in index.get(key, ()):
-                    extended = self._extend_signed(assignment, row)
-                    if extended is not None:
-                        out.append((extended, sign * row_sign))
+            else:
+                seqs = [
+                    [ref] * n if is_const else source.column(ref)
+                    for is_const, ref in key_items
+                ]
+                keys = list(zip(*seqs))
+            get = index.get
+            groups = [get(key, ()) for key in keys]
         else:
             # A keyless fetch (full-relation rule): every slice row joins
-            # with every assignment.
-            delta = ctx.delta_rows(self.atom.relation)
-            for assignment, sign in batch:
-                for row, row_sign in delta:
-                    extended = self._extend_signed(assignment, row)
-                    if extended is not None:
-                        out.append((extended, sign * row_sign))
-        return out
+            # with every source row.
+            groups = [ctx.delta_rows(self.atom.relation)] * n
+        bind_specs = self._resolve_binds(source, stores=True)
+        take: list[int] = []
+        signs_out: list[int] = []
+        self._walk(
+            groups, (), bind_specs, take, batch.signs, signs_out, signed_rows=True
+        )
+        return SignedColumnarBatch(self._finish(source, take, bind_specs), signs_out)
 
-    def run_old(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+    def run_old(
+        self, ctx: ExecutionContext, batch: SignedColumnarBatch
+    ) -> SignedColumnarBatch:
         """:meth:`run` against the pre-delta snapshot, preserving signs:
-        one live :meth:`lookup_many` (accounted as usual), corrected in
+        one live :meth:`lookup_keys` (accounted as usual), corrected in
         memory by the change slice."""
         self._check_delta_supported()
-        if not batch:
-            return []
-        groups = self._lookup_many_old(ctx, self._patterns(a for a, _ in batch))
-        check_items = self._check_items
-        out: SignedBatch = []
-        for (assignment, sign), rows in zip(batch, groups):
-            for row in rows:
-                if any(
-                    (ref if is_const else assignment[ref]) != row[p]
-                    for p, is_const, ref in check_items
-                ):
-                    continue
-                extended = self._extend_signed(assignment, row)
-                if extended is not None:
-                    out.append((extended, sign))
-        return out
+        source = batch.batch
+        if not source.length:
+            return SignedColumnarBatch.empty(source.slots)
+        groups = self._lookup_keys_old(
+            ctx, self._sorted_positions, self._keys(source)
+        )
+        check_specs = self._resolve_checks(source)
+        bind_specs = self._resolve_binds(source, stores=True)
+        take: list[int] = []
+        signs_out: list[int] = []
+        self._walk(groups, check_specs, bind_specs, take, batch.signs, signs_out)
+        return SignedColumnarBatch(self._finish(source, take, bind_specs), signs_out)
 
 
 @dataclass(frozen=True)
 class ProbeOp:
     """Verify the fully-bound ``atom`` for a whole batch with one
-    :meth:`contains_many` membership call."""
+    :meth:`contains_rows` membership call.  ``keep`` is the liveness
+    pass's surviving-variable set (``None`` keeps everything)."""
 
     atom: Atom
+    keep: frozenset[Variable] | None = None
 
     def __post_init__(self):
         object.__setattr__(
             self,
             "_items",
-            tuple(
-                (isinstance(t, Constant), t.value if isinstance(t, Constant) else t)
-                for t in self.atom.terms
-            ),
+            tuple(_resolve(t) for t in self.atom.terms),
         )
 
     def __str__(self) -> str:
         return f"probe {self.atom}"
 
-    def _row(self, assignment: Assignment) -> Row:
-        return tuple(
-            ref if is_const else assignment[ref] for is_const, ref in self._items
-        )
-
     # The membership source, overridden by ViewProbeOp to probe a view
     # store instead of the database.
 
-    def _contains_many(self, ctx: ExecutionContext, rows):
-        return ctx.contains_many(self.atom.relation, rows)
+    def _contains_rows(self, ctx: ExecutionContext, rows):
+        return ctx.contains_rows(self.atom.relation, rows)
 
-    def _contains_many_old(self, ctx: ExecutionContext, rows):
-        return ctx.contains_many_old(self.atom.relation, rows)
+    def _contains_rows_old(self, ctx: ExecutionContext, rows):
+        return ctx.contains_rows_old(self.atom.relation, rows)
 
-    def run(self, ctx: ExecutionContext, batch: Batch) -> Batch:
-        if not batch:
-            return batch
-        rows = [self._row(assignment) for assignment in batch]
-        verdicts = self._contains_many(ctx, rows)
-        return [a for a, present in zip(batch, verdicts) if present]
+    def _rows(self, batch: ColumnarBatch) -> list[Row]:
+        """The batch's probe-row column (one pre-shaped tuple per row)."""
+        n = batch.length
+        items = self._items
+        if len(items) == 1:
+            is_const, ref = items[0]
+            if is_const:
+                return [(ref,)] * n
+            return [(v,) for v in batch.column(ref)]
+        seqs = [
+            [ref] * n if is_const else batch.column(ref) for is_const, ref in items
+        ]
+        return list(zip(*seqs))
 
-    def run_delta(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
-        """Probe the change slice instead of the database: an assignment
-        survives only if its fully-bound row effectively changed, carrying
-        the change's sign.  Accesses zero stored tuples."""
+    def run(self, ctx: ExecutionContext, batch: ColumnarBatch) -> ColumnarBatch:
+        if not batch.length:
+            return _drop_dead(batch, self.keep)
+        verdicts = self._contains_rows(ctx, self._rows(batch))
+        if all(verdicts):
+            return _drop_dead(batch, self.keep)
+        sel = [i for i, present in enumerate(verdicts) if present]
+        return _gather(batch, sel, self.keep)
+
+    def run_delta(
+        self, ctx: ExecutionContext, batch: SignedColumnarBatch
+    ) -> SignedColumnarBatch:
+        """Probe the change slice instead of the database: a row survives
+        only if its fully-bound tuple effectively changed, carrying the
+        change's sign.  Accesses zero stored tuples."""
         net = ctx.delta_net(self.atom.relation)
-        if not net or not batch:
-            return []
-        out: SignedBatch = []
-        for assignment, sign in batch:
-            row_sign = net.get(self._row(assignment), 0)
+        source = batch.batch
+        if not net or not source.length:
+            return SignedColumnarBatch.empty(source.slots)
+        get = net.get
+        signs = batch.signs
+        sel: list[int] = []
+        signs_out: list[int] = []
+        for i, row in enumerate(self._rows(source)):
+            row_sign = get(row, 0)
             if row_sign:
-                out.append((assignment, sign * row_sign))
-        return out
+                sel.append(i)
+                signs_out.append(signs[i] * row_sign)
+        return SignedColumnarBatch(_gather(source, sel, self.keep), signs_out)
 
-    def run_old(self, ctx: ExecutionContext, batch: SignedBatch) -> SignedBatch:
+    def run_old(
+        self, ctx: ExecutionContext, batch: SignedColumnarBatch
+    ) -> SignedColumnarBatch:
         """:meth:`run` against the pre-delta snapshot, preserving signs."""
-        if not batch:
-            return []
-        rows = [self._row(assignment) for assignment, _ in batch]
-        verdicts = self._contains_many_old(ctx, rows)
-        return [entry for entry, present in zip(batch, verdicts) if present]
+        source = batch.batch
+        if not source.length:
+            return SignedColumnarBatch.empty(source.slots)
+        verdicts = self._contains_rows_old(ctx, self._rows(source))
+        signs = batch.signs
+        sel = [i for i, present in enumerate(verdicts) if present]
+        return SignedColumnarBatch(
+            _gather(source, sel, self.keep), [signs[i] for i in sel]
+        )
 
 
 @dataclass(frozen=True)
@@ -660,11 +1013,11 @@ class ViewScanOp(FetchOp):
             f" binding {binds}" if binds else ""
         )
 
-    def _lookup_many(self, ctx: ExecutionContext, patterns):
-        return ctx.view_lookup_many(self.atom.relation, patterns)
+    def _lookup_keys(self, ctx: ExecutionContext, positions, keys):
+        return ctx.view_lookup_keys(self.atom.relation, positions, keys)
 
-    def _lookup_many_old(self, ctx: ExecutionContext, patterns):
-        return ctx.view_lookup_many_old(self.atom.relation, patterns)
+    def _lookup_keys_old(self, ctx: ExecutionContext, positions, keys):
+        return ctx.view_lookup_keys_old(self.atom.relation, positions, keys)
 
 
 @dataclass(frozen=True)
@@ -677,18 +1030,18 @@ class ViewProbeOp(ProbeOp):
     def __str__(self) -> str:
         return f"view probe {self.atom}"
 
-    def _contains_many(self, ctx: ExecutionContext, rows):
-        return ctx.view_contains_many(self.atom.relation, rows)
+    def _contains_rows(self, ctx: ExecutionContext, rows):
+        return ctx.view_contains_rows(self.atom.relation, rows)
 
-    def _contains_many_old(self, ctx: ExecutionContext, rows):
-        return ctx.view_contains_many_old(self.atom.relation, rows)
+    def _contains_rows_old(self, ctx: ExecutionContext, rows):
+        return ctx.view_contains_rows_old(self.atom.relation, rows)
 
 
 @dataclass(frozen=True)
 class ProjectDedupOp:
-    """Project each assignment onto the head terms and deduplicate,
+    """Project each batch row onto the head terms and deduplicate,
     preserving first-derivation order.  Terminal operator: its output
-    batch holds answer rows, not assignments."""
+    holds answer rows, not a batch."""
 
     head_terms: tuple[Term, ...]
 
@@ -696,10 +1049,7 @@ class ProjectDedupOp:
         object.__setattr__(
             self,
             "_items",
-            tuple(
-                (isinstance(t, Constant), t.value if isinstance(t, Constant) else t)
-                for t in self.head_terms
-            ),
+            tuple(_resolve(t) for t in self.head_terms),
         )
 
     def __str__(self) -> str:
@@ -708,36 +1058,716 @@ class ProjectDedupOp:
         )
         return f"project/dedup ({head})"
 
-    def _row(self, assignment: Assignment) -> Row:
-        return tuple(
-            ref if is_const else assignment[ref] for is_const, ref in self._items
-        )
+    def _row_iter(self, batch: ColumnarBatch):
+        """The head projection of every batch row, in order."""
+        n = batch.length
+        items = self._items
+        if len(items) == 1:
+            is_const, ref = items[0]
+            col = [ref] * n if is_const else batch.column(ref)
+            return ((v,) for v in col)
+        seqs = [
+            [ref] * n if is_const else batch.column(ref) for is_const, ref in items
+        ]
+        return zip(*seqs)
 
-    def run(self, ctx: ExecutionContext, batch: Batch) -> list[Row]:
-        answers: dict[Row, None] = {}
-        for assignment in batch:
-            answers.setdefault(self._row(assignment), None)
-        return list(answers)
+    def run(self, ctx: ExecutionContext, batch: ColumnarBatch) -> list[Row]:
+        if not batch.length:
+            return []
+        if not self._items:
+            return [()]
+        return list(dict.fromkeys(self._row_iter(batch)))
 
-    def counts(self, batch: Batch) -> dict[Row, int]:
+    def counts(self, batch: ColumnarBatch) -> dict[Row, int]:
         """Project like :meth:`run` but return per-answer derivation
         multiplicities (first-derivation order) instead of deduplicating --
         the materialized state of :mod:`repro.incremental`."""
         counts: dict[Row, int] = {}
-        for assignment in batch:
-            row = self._row(assignment)
-            counts[row] = counts.get(row, 0) + 1
+        if not batch.length:
+            return counts
+        if not self._items:
+            counts[EMPTY_KEY] = batch.length
+            return counts
+        get = counts.get
+        for row in self._row_iter(batch):
+            counts[row] = get(row, 0) + 1
         return counts
 
-    def accumulate_signed(self, batch: SignedBatch, into: dict[Row, int]) -> None:
+    def accumulate_signed(
+        self, batch: SignedColumnarBatch, into: dict[Row, int]
+    ) -> None:
         """Fold a signed batch's head projections into ``into`` -- the
         delta face of :meth:`counts`."""
-        for assignment, sign in batch:
-            row = self._row(assignment)
-            into[row] = into.get(row, 0) + sign
+        source = batch.batch
+        if not source.length:
+            return
+        get = into.get
+        if not self._items:
+            into[EMPTY_KEY] = get(EMPTY_KEY, 0) + sum(batch.signs)
+            return
+        for row, sign in zip(self._row_iter(source), batch.signs):
+            into[row] = get(row, 0) + sign
+
+
+class _FusedFetchProject:
+    """The fused terminal operator: a trailing :class:`FetchOp` (or
+    :class:`ViewScanOp`) and the :class:`ProjectDedupOp` collapsed into
+    one pass that emits deduplicated head rows straight from the fetched
+    row groups -- the final batch (its gathers, fresh bind columns and
+    per-row bookkeeping) is never materialized.  Lowering applies it on
+    the :attr:`Pipeline.fused` sequence only; the unfused operators stay
+    addressable for profiles, tests and the delta driver."""
+
+    __slots__ = ("fetch", "project")
+
+    def __init__(self, fetch: FetchOp, project: ProjectDedupOp):
+        self.fetch = fetch
+        self.project = project
+
+    def __str__(self) -> str:
+        return f"fused[{self.fetch}; {self.project}]"
+
+    def run(self, ctx: ExecutionContext, batch: ColumnarBatch) -> list[Row]:
+        if not batch.length:
+            return []
+        fetch = self.fetch
+        groups = fetch._lookup_keys(ctx, fetch._sorted_positions, fetch._keys(batch))
+        check_specs = fetch._resolve_checks(batch)
+        bind_specs = fetch._resolve_binds(batch, stores=False)
+        # Lower each head term to its source: a constant, a column of the
+        # input batch, or a position of the fetched row.
+        specs: list[tuple[int, object]] = []
+        for is_const, ref in self.project._items:
+            if is_const:
+                specs.append((0, ref))
+                continue
+            col = batch.column_or_none(ref)
+            if col is not None:
+                specs.append((1, col))
+                continue
+            for term, ps in fetch._bind_groups:
+                if term == ref:
+                    specs.append((2, ps[0]))
+                    break
+            else:
+                raise KeyError(ref)
+        answers: dict[Row, None] = {}
+        setd = answers.setdefault
+        simple = (
+            not check_specs
+            and fetch.dedup_positions is None
+            and all(col is None and len(ps) == 1 for _, ps, col, _ in bind_specs)
+        )
+        if simple and len(specs) == 1:
+            kind, x = specs[0]
+            if kind == 2:
+                for rows in groups:
+                    for row in rows:
+                        setd((row[x],), None)
+            elif kind == 1:
+                # Same head value for every row of a group: record each
+                # non-empty group once.
+                for i, rows in enumerate(groups):
+                    if rows:
+                        setd((x[i],), None)
+            else:
+                for rows in groups:
+                    if rows:
+                        setd((x,), None)
+                        break
+        elif simple:
+            for i, rows in enumerate(groups):
+                for row in rows:
+                    setd(
+                        tuple(
+                            x if kind == 0 else (x[i] if kind == 1 else row[x])
+                            for kind, x in specs
+                        ),
+                        None,
+                    )
+        else:
+            dedup = fetch.dedup_positions
+            for i, rows in enumerate(groups):
+                if not rows:
+                    continue
+                seen: set[Row] | None = set() if dedup is not None else None
+                for row in rows:
+                    ok = True
+                    for p, col, const in check_specs:
+                        if (const if col is None else col[i]) != row[p]:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    if seen is not None:
+                        projection = tuple(row[p] for p in dedup)
+                        if projection in seen:
+                            continue
+                        seen.add(projection)
+                    for _, ps, col, _ in bind_specs:
+                        if col is None:
+                            v = row[ps[0]]
+                            rest = ps[1:]
+                        else:
+                            v = col[i]
+                            rest = ps
+                        for q in rest:
+                            if row[q] != v:
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                    if not ok:
+                        continue
+                    setd(
+                        tuple(
+                            x if kind == 0 else (x[i] if kind == 1 else row[x])
+                            for kind, x in specs
+                        ),
+                        None,
+                    )
+        return list(answers)
 
 
 Operator = FilterOp | FetchOp | ProbeOp | ViewScanOp | ViewProbeOp | ProjectDedupOp
+
+
+# -- compiled hot-path steps ---------------------------------------------
+#
+# The batch schema at every pipeline position is static: which slots are
+# bound, which are live, which positions key each lookup -- all of it is
+# known at lowering time.  So the hot path does not interpret operators:
+# build_pipeline additionally compiles each fused operator into a closure
+# over integer slot indexes, and execute_plan threads a bare
+# (columns, length) pair through those closures.  No Variable is hashed
+# and no batch object is allocated per execution.  The operator classes
+# above remain the addressable form of the same pipeline (tests,
+# profiles, counting and the delta driver run them; differential tests
+# pin the compiled path to them).
+
+
+def _compile_row_builder(specs):
+    """A closure building the per-row key/probe tuple column from
+    ``specs`` (``(True, constant)`` / ``(False, slot)`` items)."""
+    if not specs:
+        return lambda columns, n: [EMPTY_KEY] * n
+    if len(specs) == 1:
+        is_const, x = specs[0]
+        if is_const:
+            key = (x,)
+            return lambda columns, n: [key] * n
+        return lambda columns, n: [(v,) for v in columns[x]]
+    specs = tuple(specs)
+
+    def rows_fn(columns, n):
+        seqs = [[x] * n if is_const else columns[x] for is_const, x in specs]
+        return list(zip(*seqs))
+
+    return rows_fn
+
+
+def _compile_fetch(op: FetchOp, slots: SlotTable, bound_slots: set[int]):
+    """Compile a non-terminal fetch into a ``(ctx, columns, n) ->
+    (columns, n)`` closure; returns it plus the slot set bound after."""
+    variables = slots.variables
+    sidx = slots.index
+    nslots = len(variables)
+    spos = op._sorted_positions
+    keys_fn = _compile_row_builder(
+        [
+            (True, ref) if is_const else (False, sidx[ref])
+            for is_const, ref in op._sorted_key
+        ]
+    )
+    check_specs = tuple(
+        (p, None, ref) if is_const else (p, sidx[ref], None)
+        for p, is_const, ref in op._check_items
+    )
+    keep = op.keep
+    consist: list[tuple[int, tuple[int, ...]]] = []
+    fresh: list[tuple[int | None, tuple[int, ...]]] = []
+    for term, ps in op._bind_groups:
+        s = sidx[term]
+        if s in bound_slots:
+            consist.append((s, ps))
+        elif keep is None or term in keep:
+            fresh.append((s, ps))
+        elif len(ps) > 1:
+            # Dead but repeated: the within-row consistency check still
+            # filters, only the column is unneeded.
+            fresh.append((None, ps))
+    gather = tuple(s for s in bound_slots if keep is None or variables[s] in keep)
+    out_bound = set(gather) | {s for s, _ in fresh if s is not None}
+    relation = op.atom.relation
+    from_view = isinstance(op, ViewScanOp)
+    dedup = op.dedup_positions
+    stores_spec = tuple((s, ps[0]) for s, ps in fresh if s is not None)
+    fast = (
+        not check_specs
+        and dedup is None
+        and not consist
+        and all(len(ps) == 1 for _, ps in fresh)
+    )
+    if fast and len(stores_spec) == 1:
+        # The planner's common case: a plain fetch binding one variable.
+        (s_out, p0) = stores_spec[0]
+
+        def step(ctx, columns, n):
+            keys = keys_fn(columns, n)
+            groups = (
+                ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                if from_view
+                else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+            )
+            out = [None] * nslots
+            if n == 1:
+                rows = groups[0]
+                k = len(rows)
+                if k:
+                    for s in gather:
+                        out[s] = columns[s] * k
+                    out[s_out] = [row[p0] for row in rows]
+                return out, k
+            take = []
+            t_append = take.append
+            store = []
+            s_append = store.append
+            for i, rows in enumerate(groups):
+                for row in rows:
+                    t_append(i)
+                    s_append(row[p0])
+            for s in gather:
+                col = columns[s]
+                out[s] = [col[i] for i in take]
+            out[s_out] = store
+            return out, len(take)
+
+        return step, out_bound
+    if fast:
+
+        def step(ctx, columns, n):
+            keys = keys_fn(columns, n)
+            groups = (
+                ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                if from_view
+                else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+            )
+            take = []
+            t_append = take.append
+            stores = [[] for _ in stores_spec]
+            for i, rows in enumerate(groups):
+                for row in rows:
+                    t_append(i)
+                    for store, (_, p) in zip(stores, stores_spec):
+                        store.append(row[p])
+            out = [None] * nslots
+            for s in gather:
+                col = columns[s]
+                out[s] = [col[i] for i in take]
+            for store, (s, _) in zip(stores, stores_spec):
+                out[s] = store
+            return out, len(take)
+
+        return step, out_bound
+
+    fresh_t = tuple(fresh)
+    consist_t = tuple(consist)
+
+    def step(ctx, columns, n):
+        keys = keys_fn(columns, n)
+        groups = (
+            ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+            if from_view
+            else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+        )
+        checks = [
+            (p, None if s is None else columns[s], const)
+            for p, s, const in check_specs
+        ]
+        consist_cols = [(columns[s], ps) for s, ps in consist_t]
+        stores = [None if s is None else [] for s, _ in fresh_t]
+        take = []
+        t_append = take.append
+        for i, rows in enumerate(groups):
+            if not rows:
+                continue
+            seen = set() if dedup is not None else None
+            for row in rows:
+                ok = True
+                for p, col, const in checks:
+                    if (const if col is None else col[i]) != row[p]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                # Dedup consumes the projection even when a later
+                # consistency check rejects the row (the embedded rule's
+                # "at most N distinct projections" budget is spent by the
+                # fetch, not the join).
+                if seen is not None:
+                    projection = tuple(row[p] for p in dedup)
+                    if projection in seen:
+                        continue
+                    seen.add(projection)
+                for col, ps in consist_cols:
+                    v = col[i]
+                    for q in ps:
+                        if row[q] != v:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if not ok:
+                    continue
+                pending = None
+                for store, (_, ps) in zip(stores, fresh_t):
+                    v = row[ps[0]]
+                    for q in ps[1:]:
+                        if row[q] != v:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                    if store is not None:
+                        if pending is None:
+                            pending = []
+                        pending.append((store, v))
+                if not ok:
+                    continue
+                t_append(i)
+                if pending is not None:
+                    for store, v in pending:
+                        store.append(v)
+        out = [None] * nslots
+        for s in gather:
+            col = columns[s]
+            out[s] = [col[i] for i in take]
+        for store, (s, _) in zip(stores, fresh_t):
+            if store is not None:
+                out[s] = store
+        return out, len(take)
+
+    return step, out_bound
+
+
+def _compile_probe(op: ProbeOp, slots: SlotTable, bound_slots: set[int]):
+    """Compile a probe into a ``(ctx, columns, n) -> (columns, n)``
+    closure; returns it plus the slot set bound after."""
+    variables = slots.variables
+    sidx = slots.index
+    nslots = len(variables)
+    rows_fn = _compile_row_builder(
+        [
+            (True, ref) if is_const else (False, sidx[ref])
+            for is_const, ref in op._items
+        ]
+    )
+    relation = op.atom.relation
+    from_view = isinstance(op, ViewProbeOp)
+    keep = op.keep
+    gather = tuple(s for s in bound_slots if keep is None or variables[s] in keep)
+    dead = len(gather) != len(bound_slots)
+
+    def step(ctx, columns, n):
+        rows = rows_fn(columns, n)
+        verdicts = (
+            ctx._view(relation).contains_rows(rows, ctx.stats)
+            if from_view
+            else ctx.db.contains_rows(relation, rows, ctx.stats)
+        )
+        if all(verdicts):
+            if not dead:
+                return columns, n
+            out = [None] * nslots
+            for s in gather:
+                out[s] = columns[s]
+            return out, n
+        sel = [i for i, present in enumerate(verdicts) if present]
+        out = [None] * nslots
+        for s in gather:
+            col = columns[s]
+            out[s] = [col[i] for i in sel]
+        return out, len(sel)
+
+    return step, set(gather)
+
+
+def _compile_project(op: ProjectDedupOp, slots: SlotTable, bound_slots: set[int]):
+    """Compile the terminal projection into a ``(ctx, columns, n) ->
+    list[Row]`` closure (first-derivation order preserved by the dedup
+    dict)."""
+    sidx = slots.index
+    specs = [
+        (True, ref) if is_const else (False, sidx[ref])
+        for is_const, ref in op._items
+    ]
+    if not specs:
+        return lambda ctx, columns, n: [()] if n else []
+    if len(specs) == 1:
+        is_const, x = specs[0]
+        if is_const:
+            row = (x,)
+            return lambda ctx, columns, n: [row] if n else []
+
+        def terminal(ctx, columns, n):
+            if not n:
+                return []
+            return list(dict.fromkeys((v,) for v in columns[x]))
+
+        return terminal
+    specs_t = tuple(specs)
+
+    def terminal(ctx, columns, n):
+        if not n:
+            return []
+        seqs = [[x] * n if is_const else columns[x] for is_const, x in specs_t]
+        return list(dict.fromkeys(zip(*seqs)))
+
+    return terminal
+
+
+def _compile_fused(
+    fused_op: "_FusedFetchProject", slots: SlotTable, bound_slots: set[int]
+):
+    """Compile the fused fetch+project tail into a ``(ctx, columns, n) ->
+    list[Row]`` closure emitting deduplicated head rows straight from the
+    fetched row groups."""
+    fetch = fused_op.fetch
+    project = fused_op.project
+    sidx = slots.index
+    spos = fetch._sorted_positions
+    keys_fn = _compile_row_builder(
+        [
+            (True, ref) if is_const else (False, sidx[ref])
+            for is_const, ref in fetch._sorted_key
+        ]
+    )
+    check_specs = tuple(
+        (p, None, ref) if is_const else (p, sidx[ref], None)
+        for p, is_const, ref in fetch._check_items
+    )
+    consist: list[tuple[int, tuple[int, ...]]] = []
+    fresh_pos: dict[Variable, tuple[int, ...]] = {}
+    for term, ps in fetch._bind_groups:
+        s = sidx.get(term)
+        if s is not None and s in bound_slots:
+            consist.append((s, ps))
+        else:
+            fresh_pos[term] = ps
+    # Each head term lowers to a constant (0), an input column (1), or a
+    # position of the fetched row (2).
+    specs: list[tuple[int, object]] = []
+    for is_const, ref in project._items:
+        if is_const:
+            specs.append((0, ref))
+            continue
+        s = sidx.get(ref)
+        if s is not None and s in bound_slots:
+            specs.append((1, s))
+        else:
+            specs.append((2, fresh_pos[ref][0]))
+    relation = fetch.atom.relation
+    from_view = isinstance(fetch, ViewScanOp)
+    dedup = fetch.dedup_positions
+    fresh_consist = tuple(ps for ps in fresh_pos.values() if len(ps) > 1)
+    simple = not check_specs and dedup is None and not consist and not fresh_consist
+    if simple and len(specs) == 1:
+        kind, x = specs[0]
+        if kind == 2:
+
+            def terminal(ctx, columns, n):
+                keys = keys_fn(columns, n)
+                groups = (
+                    ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                    if from_view
+                    else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+                )
+                answers: dict[Row, None] = {}
+                setd = answers.setdefault
+                for rows in groups:
+                    for row in rows:
+                        setd((row[x],), None)
+                return list(answers)
+
+        elif kind == 1:
+
+            def terminal(ctx, columns, n):
+                # Same head value for every row of a group: record each
+                # non-empty group once.
+                keys = keys_fn(columns, n)
+                groups = (
+                    ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                    if from_view
+                    else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+                )
+                col = columns[x]
+                answers: dict[Row, None] = {}
+                setd = answers.setdefault
+                for i, rows in enumerate(groups):
+                    if rows:
+                        setd((col[i],), None)
+                return list(answers)
+
+        else:
+            row0 = (x,)
+
+            def terminal(ctx, columns, n):
+                keys = keys_fn(columns, n)
+                groups = (
+                    ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                    if from_view
+                    else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+                )
+                for rows in groups:
+                    if rows:
+                        return [row0]
+                return []
+
+        return terminal
+    if simple:
+        specs_t = tuple(specs)
+
+        def terminal(ctx, columns, n):
+            keys = keys_fn(columns, n)
+            groups = (
+                ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+                if from_view
+                else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+            )
+            answers: dict[Row, None] = {}
+            setd = answers.setdefault
+            for i, rows in enumerate(groups):
+                for row in rows:
+                    setd(
+                        tuple(
+                            x
+                            if kind == 0
+                            else (columns[x][i] if kind == 1 else row[x])
+                            for kind, x in specs_t
+                        ),
+                        None,
+                    )
+            return list(answers)
+
+        return terminal
+    consist_t = tuple(consist)
+    specs_g = tuple(specs)
+
+    def terminal(ctx, columns, n):
+        keys = keys_fn(columns, n)
+        groups = (
+            ctx._view(relation).lookup_keys(spos, keys, ctx.stats)
+            if from_view
+            else ctx.db.lookup_keys(relation, spos, keys, ctx.stats)
+        )
+        checks = [
+            (p, None if s is None else columns[s], const)
+            for p, s, const in check_specs
+        ]
+        consist_cols = [(columns[s], ps) for s, ps in consist_t]
+        answers: dict[Row, None] = {}
+        setd = answers.setdefault
+        for i, rows in enumerate(groups):
+            if not rows:
+                continue
+            seen = set() if dedup is not None else None
+            for row in rows:
+                ok = True
+                for p, col, const in checks:
+                    if (const if col is None else col[i]) != row[p]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if seen is not None:
+                    projection = tuple(row[p] for p in dedup)
+                    if projection in seen:
+                        continue
+                    seen.add(projection)
+                for col, ps in consist_cols:
+                    v = col[i]
+                    for q in ps:
+                        if row[q] != v:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if ok:
+                    for ps in fresh_consist:
+                        v = row[ps[0]]
+                        for q in ps[1:]:
+                            if row[q] != v:
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                if not ok:
+                    continue
+                setd(
+                    tuple(
+                        x if kind == 0 else (columns[x][i] if kind == 1 else row[x])
+                        for kind, x in specs_g
+                    ),
+                    None,
+                )
+        return list(answers)
+
+    return terminal
+
+
+class Pipeline(tuple):
+    """The lowered physical form of one plan: a tuple of the *unfused*
+    operators (what tests, profiles and the delta driver address), plus
+    the compiled execution extras as attributes --
+
+    * ``slots`` -- the plan's :class:`~repro.core.columnar.SlotTable`;
+    * ``params`` -- the declared parameter set (fast seed validation);
+    * ``prefilter`` -- the leading :class:`FilterOp`, fused onto the seed
+      assignment by :func:`execute_plan` (``None`` when absent);
+    * ``fused`` -- the hot-path operator sequence: the unfused data
+      operators minus the prefilter, with a trailing fetch+project pair
+      collapsed into one :class:`_FusedFetchProject`;
+    * ``seed_slots`` / ``body`` / ``terminal`` -- the compiled form of the
+      fused sequence :func:`execute_plan` actually runs: the parameter
+      slot assignments, the ``(ctx, columns, n) -> (columns, n)`` step
+      closures, and the terminal ``-> list[Row]`` closure;
+    * ``width`` -- the slot count (the length of each column list).
+
+    Comparing a ``Pipeline`` to a plain tuple compares the unfused
+    operators (tuple semantics), so an unsatisfiable plan's pipeline
+    equals ``()``.
+    """
+
+    slots: SlotTable
+    params: frozenset
+    width: int
+    prefilter: FilterOp | None
+    fused: tuple
+    seed_slots: tuple
+    body: tuple
+    terminal: object
+
+    def __new__(
+        cls,
+        ops: Sequence = (),
+        slots: SlotTable | None = None,
+        params: frozenset = frozenset(),
+        prefilter: FilterOp | None = None,
+        fused: Sequence | None = None,
+        seed_slots: Sequence = (),
+        body: Sequence = (),
+        terminal=None,
+    ):
+        self = super().__new__(cls, ops)
+        self.slots = SlotTable(()) if slots is None else slots
+        self.params = params
+        self.width = len(self.slots.variables)
+        self.prefilter = prefilter
+        self.fused = tuple(ops) if fused is None else tuple(fused)
+        self.seed_slots = tuple(seed_slots)
+        self.body = tuple(body)
+        self.terminal = terminal
+        return self
 
 
 def _parameter_constraints(
@@ -776,17 +1806,44 @@ def _parameter_constraints(
     return tuple(conditions), tuple(binds), bound
 
 
-def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
+def _assign_keep_sets(ops: list[Operator], head_terms: tuple[Term, ...]) -> None:
+    """The backward liveness pass: give every data operator the ``keep``
+    set of variables some strictly-later operator (or the projection)
+    still reads, so gathers skip dead columns.  The delta driver runs the
+    same operators in the same order (new-prefix / slice-join / old-
+    suffix all read the same per-level key, check and head variables), so
+    one keep set is valid for every face."""
+    needed: set[Variable] = {t for t in head_terms if isinstance(t, Variable)}
+    for op in reversed(ops):
+        if isinstance(op, (FilterOp, ProjectDedupOp)):
+            continue
+        object.__setattr__(op, "keep", frozenset(needed))
+        if isinstance(op, FetchOp):
+            needed -= {term for term, _ in op._bind_groups}
+            needed |= {ref for is_const, ref in op._sorted_key if not is_const}
+            needed |= {
+                ref for _, is_const, ref in op._check_items if not is_const
+            }
+        else:  # ProbeOp
+            needed |= {ref for is_const, ref in op._items if not is_const}
+
+
+def build_pipeline(plan: Plan) -> Pipeline:
     """Lower ``plan``'s fetch/probe steps into the physical operator
     pipeline.  The set of bound variables before each step is known at
-    compile time, so every operator's key/check/bind positions are static.
+    compile time, so every operator's key/check/bind positions, its
+    variable slots and its live-column set are all static; the returned
+    :class:`Pipeline` additionally carries the fused hot-path sequence.
     """
+    params = frozenset(plan.parameters)
     if not plan.satisfiable:
-        return ()
+        return Pipeline((), None, params)
     conditions, binds, bound = _parameter_constraints(plan)
     ops: list[Operator] = []
+    prefilter: FilterOp | None = None
     if conditions or binds:
-        ops.append(FilterOp(conditions, binds))
+        prefilter = FilterOp(conditions, binds)
+        ops.append(prefilter)
     view_relations = plan.view_relations
     for step in plan.steps:
         is_view = step.atom.relation in view_relations
@@ -818,17 +1875,65 @@ def build_pipeline(plan: Plan) -> tuple[Operator, ...]:
         ops.append(op_type(step.atom, key, check, bind, dedup, step.rule))
         bound.update(step.binds)
     ops.append(ProjectDedupOp(plan.head_terms))
-    return tuple(ops)
+    _assign_keep_sets(ops, plan.head_terms)
+
+    # The per-plan slot table: parameters, bind targets, atom variables
+    # and head variables, first-seen order (SlotTable dedups).
+    slot_vars: list[Variable] = list(plan.parameters)
+    slot_vars.extend(target for _, target in binds)
+    for step in plan.steps:
+        slot_vars.extend(t for t in step.atom.terms if isinstance(t, Variable))
+    slot_vars.extend(t for t in plan.head_terms if isinstance(t, Variable))
+
+    # The fused hot-path sequence: the prefilter is evaluated on the seed
+    # by execute_plan, and a trailing fetch+project pair emits head rows
+    # directly.
+    fused: list = [op for op in ops if op is not prefilter]
+    if len(fused) >= 2 and isinstance(fused[-2], FetchOp):
+        fused[-2:] = [_FusedFetchProject(fused[-2], fused[-1])]
+
+    # Compile the fused sequence down to slot-index closures (what
+    # execute_plan runs); the boundness of every slot at every position
+    # is static, so all variable hashing happens here, once per plan.
+    slots = SlotTable(slot_vars)
+    sidx = slots.index
+    seed_vars = tuple(
+        dict.fromkeys([*plan.parameters, *(target for _, target in binds)])
+    )
+    seed_slots = tuple((sidx[v], v) for v in seed_vars)
+    bound_slots = {slot for slot, _ in seed_slots}
+    body = []
+    for op in fused[:-1]:
+        if isinstance(op, FetchOp):
+            step, bound_slots = _compile_fetch(op, slots, bound_slots)
+        else:
+            step, bound_slots = _compile_probe(op, slots, bound_slots)
+        body.append(step)
+    tail = fused[-1]
+    if isinstance(tail, _FusedFetchProject):
+        terminal = _compile_fused(tail, slots, bound_slots)
+    else:
+        terminal = _compile_project(tail, slots, bound_slots)
+    return Pipeline(ops, slots, params, prefilter, fused, seed_slots, body, terminal)
 
 
-def pipeline_for(plan: Plan) -> tuple[Operator, ...]:
+#: The process-wide LRU of lowered pipelines (satellite of PR 8: the old
+#: per-plan memo attribute grew without bound and had no stats; this is
+#: the same cache discipline as the Engine's PlanCache).
+pipeline_cache = PipelineCache(maxsize=256)
+
+
+def pipeline_for(plan: Plan) -> Pipeline:
     """The memoized pipeline for ``plan`` (lowered once, reused by every
-    execution; plans are immutable so the cache can never go stale)."""
-    ops = plan._pipeline
-    if ops is None:
-        ops = build_pipeline(plan)
-        plan._pipeline = ops
-    return ops
+    execution; plans are immutable so an entry can never go stale).
+    Cached in :data:`pipeline_cache` -- a bounded LRU keyed by plan
+    identity, with hit/miss/eviction counters."""
+    return pipeline_cache.get_or_build(plan, build_pipeline)
+
+
+def pipeline_cache_stats() -> PipelineCacheStats:
+    """Counters of the process-wide pipeline cache."""
+    return pipeline_cache.stats()
 
 
 def merge_parameter_values(
@@ -841,25 +1946,32 @@ def merge_parameter_values(
     ``Constant``-wrapped values are unwrapped here, once: assignments hold
     plain values everywhere downstream, so every comparison -- filter
     equalities, fetched-row consistency checks, in-memory delta joins --
-    sees the same representation the database stores.
+    sees the same representation the database stores.  String values are
+    interned on the way in for the same reason stored rows are
+    (:mod:`repro.relational.interning`): every lookup key built from a
+    parameter then hashes once and compares by identity first.
     """
     values: Assignment = {}
-    for source in (parameters or {}), kwargs:
-        for key, value in source.items():
+    if parameters:
+        for key, value in parameters.items():
+            if isinstance(value, Constant):
+                value = value.value
+            values[key if type(key) is Variable else _as_variable(key)] = (
+                _intern(value) if type(value) is str else value
+            )
+    if kwargs:
+        for key, value in kwargs.items():
+            if isinstance(value, Constant):
+                value = value.value
             values[_as_variable(key)] = (
-                value.value if isinstance(value, Constant) else value
+                _intern(value) if type(value) is str else value
             )
     return values
 
 
-def _seed_assignment(
-    plan: Plan,
-    parameters: Mapping[object, object] | None,
-    kwargs: Mapping[str, object],
-) -> Assignment:
-    """Validate the supplied parameter values against the plan's declared
-    parameters and return the initial assignment."""
-    values = merge_parameter_values(parameters, kwargs)
+def _reject_seed(plan: Plan, values: Assignment) -> None:
+    """Raise the parameter-mismatch error for a seed whose variable set
+    does not equal the plan's declared parameters."""
     declared = set(plan.parameters)
     extra = [v for v in values if v not in declared]
     if extra:
@@ -873,6 +1985,18 @@ def _seed_assignment(
         raise ValueError(
             "missing plan parameters: " + ", ".join(f"?{v}" for v in missing)
         )
+
+
+def _seed_assignment(
+    plan: Plan,
+    parameters: Mapping[object, object] | None,
+    kwargs: Mapping[str, object],
+) -> Assignment:
+    """Validate the supplied parameter values against the plan's declared
+    parameters and return the initial assignment."""
+    values = merge_parameter_values(parameters, kwargs)
+    if values.keys() != set(plan.parameters):
+        _reject_seed(plan, values)
     return {v: values[v] for v in plan.parameters}
 
 
@@ -883,20 +2007,38 @@ def execute_plan(
     **kwargs: object,
 ) -> tuple[Row, ...]:
     """Run ``plan`` on ``db`` (a Database or an :class:`ExecutionContext`)
-    through the batched operator pipeline and return the deduplicated
-    answer tuples.
+    through the columnar operator pipeline (the fused hot-path sequence)
+    and return the deduplicated answer tuples.
 
     Parameter values may be passed as a mapping (keys are variables or
     their names) and/or as keyword arguments.
     """
-    seed = _seed_assignment(plan, parameters, kwargs)
+    return _execute_merged(plan, db, merge_parameter_values(parameters, kwargs))
+
+
+def _execute_merged(plan: Plan, db, values: Assignment) -> tuple[Row, ...]:
+    """:func:`execute_plan` after parameter normalization: ``values`` must
+    already be a variable-keyed, Constant-unwrapped, interned assignment.
+    The Engine facade calls this directly so a value dict it normalized
+    once is not re-walked per plan."""
+    pipe = pipeline_for(plan)
+    if values.keys() != pipe.params:
+        _reject_seed(plan, values)
     if not plan.satisfiable:
         return ()
-    ctx = _as_context(db)
-    batch: list = [seed]
-    for op in pipeline_for(plan):
-        batch = op.run(ctx, batch)
-    return tuple(batch)
+    ctx = db if isinstance(db, ExecutionContext) else ExecutionContext(db)
+    prefilter = pipe.prefilter
+    if prefilter is not None and not prefilter.check_seed(values):
+        return ()
+    columns: list[list | None] = [None] * pipe.width
+    for slot, var in pipe.seed_slots:
+        columns[slot] = [values[var]]
+    n = 1
+    for step in pipe.body:
+        columns, n = step(ctx, columns, n)
+        if not n:
+            return ()
+    return tuple(pipe.terminal(ctx, columns, n))
 
 
 def execute_plan_counting(
@@ -918,27 +2060,41 @@ def execute_plan_counting(
 
     Raises :class:`~repro.errors.IncrementalError` (eagerly, whatever the
     data) for plans that fetch through an embedded access rule: their
-    per-assignment projection dedup makes the multiplicities
-    non-compositional, so the counts would be unusable as incremental
-    state.
+    per-row projection dedup makes the multiplicities non-compositional,
+    so the counts would be unusable as incremental state.
     """
     check_delta_supported(plan)
     seed = _seed_assignment(plan, parameters, kwargs)
     if not plan.satisfiable:
         return {}
     ctx = _as_context(db)
-    ops = pipeline_for(plan)
-    batch: list = [seed]
-    for op in ops[:-1]:
+    pipe = pipeline_for(plan)
+    batch = ColumnarBatch.seed(pipe.slots, seed)
+    for op in pipe[:-1]:
         if profiles is None:
             batch = op.run(ctx, batch)
             continue
         before = ctx.stats.snapshot()
+        start = perf_counter()
         out = op.run(ctx, batch)
-        _profile(profiles, str(op), len(batch), len(out), ctx.stats.since(before))
+        elapsed = perf_counter() - start
+        _profile(
+            profiles, str(op), len(batch), len(out), ctx.stats.since(before), elapsed
+        )
         batch = out
-    counts = ops[-1].counts(batch)
-    _profile(profiles, str(ops[-1]), len(batch), len(counts), AccessStats())
+    project = pipe[-1]
+    if profiles is None:
+        return project.counts(batch)
+    start = perf_counter()
+    counts = project.counts(batch)
+    _profile(
+        profiles,
+        str(project),
+        len(batch),
+        len(counts),
+        AccessStats(),
+        perf_counter() - start,
+    )
     return counts
 
 
@@ -961,7 +2117,9 @@ def execute_plan_delta(
     slice (``run_delta``, zero tuples accessed), and levels after ``i``
     run on the pre-delta snapshot (``run_old``) -- so every derivation
     gained or lost is produced exactly once however many levels changed,
-    with one bulk database call per level.  Levels whose relation did not
+    with one bulk database call per level.  The joins are vectorized over
+    :class:`~repro.core.columnar.SignedColumnarBatch`, the same columnar
+    representation the standard path uses.  Levels whose relation did not
     change cost nothing beyond the prefix they already share; an empty
     slice costs zero accesses.  Applying the result to the counts of
     :func:`execute_plan_counting` reproduces a from-scratch run on the
@@ -984,16 +2142,16 @@ def execute_plan_delta(
     changes: dict[Row, int] = {}
     if not plan.satisfiable:
         return changes
-    ops = pipeline_for(plan)
-    prefix: Batch = [seed]
-    for op in ops[:-1]:
+    pipe = pipeline_for(plan)
+    prefix = ColumnarBatch.seed(pipe.slots, seed)
+    for op in pipe[:-1]:
         if isinstance(op, FilterOp):
             prefix = op.run(ctx, prefix)
             _profile(profiles, op, 1, len(prefix), AccessStats())
-    if not prefix:
+    if not prefix.length:
         return changes
-    levels = [op for op in ops[:-1] if not isinstance(op, FilterOp)]
-    project = ops[-1]
+    levels = [op for op in pipe[:-1] if not isinstance(op, FilterOp)]
+    project = pipe[-1]
     relevant = {
         i for i, level in enumerate(levels) if ctx.delta_rows(level.atom.relation)
     }
@@ -1006,17 +2164,29 @@ def execute_plan_delta(
         if profiles is None:
             return method(ctx, batch)
         before = ctx.stats.snapshot()
+        start = perf_counter()
         out = method(ctx, batch)
-        _profile(profiles, f"{label} {op}", len(batch), len(out), ctx.stats.since(before))
+        elapsed = perf_counter() - start
+        _profile(
+            profiles,
+            f"{label} {op}",
+            len(batch),
+            len(out),
+            ctx.stats.since(before),
+            elapsed,
+        )
         return out
 
     for i, level in enumerate(levels):
         if i in relevant:
             signed = run_measured(
-                level, f"Δ[{i + 1}]", [(a, 1) for a in prefix], level.run_delta
+                level,
+                f"Δ[{i + 1}]",
+                SignedColumnarBatch(prefix, [1] * prefix.length),
+                level.run_delta,
             )
             for j in range(i + 1, len(levels)):
-                if not signed:
+                if not len(signed):
                     break
                 signed = run_measured(
                     levels[j], f"old[{j + 1}]", signed, levels[j].run_old
@@ -1025,7 +2195,7 @@ def execute_plan_delta(
         if i >= last:
             break
         prefix = run_measured(level, f"new[{i + 1}]", prefix, level.run)
-        if not prefix:
+        if not prefix.length:
             break
     changes = {row: change for row, change in changes.items() if change}
     _profile(profiles, project, len(changes), len(changes), AccessStats())
@@ -1089,7 +2259,11 @@ def check_delta_supported(plan: Plan) -> None:
 
 @dataclass(frozen=True)
 class OperatorProfile:
-    """Measured behaviour of one operator during one execution."""
+    """Measured behaviour of one operator during one execution.
+
+    ``wall_time_s`` is the operator's measured wall-clock time (seconds);
+    it is ``0.0`` on paths that account rows without timing (e.g. the
+    pure-bookkeeping projection line of the delta driver)."""
 
     operator: str
     rows_in: int
@@ -1097,6 +2271,7 @@ class OperatorProfile:
     tuples_accessed: int
     indexed_lookups: int
     full_scans: int
+    wall_time_s: float = 0.0
 
 
 def _profile(
@@ -1105,6 +2280,7 @@ def _profile(
     rows_in: int,
     rows_out: int,
     delta: AccessStats,
+    wall_time_s: float = 0.0,
 ) -> None:
     """Append one operator's measurements to ``profiles`` (when given);
     ``operator`` is stringified only then, keeping the unprofiled hot
@@ -1118,14 +2294,15 @@ def _profile(
                 delta.tuples_accessed,
                 delta.indexed_lookups,
                 delta.full_scans,
+                wall_time_s,
             )
         )
 
 
 @dataclass(frozen=True)
 class PlanProfile:
-    """One plan execution's answers plus per-operator row counts and
-    access accounting (the payload of ``explain_analyze``)."""
+    """One plan execution's answers plus per-operator row counts, access
+    accounting and wall time (the payload of ``explain_analyze``)."""
 
     plan: Plan
     rows: tuple[Row, ...]
@@ -1134,6 +2311,10 @@ class PlanProfile:
     @property
     def tuples_accessed(self) -> int:
         return sum(op.tuples_accessed for op in self.operators)
+
+    @property
+    def wall_time_s(self) -> float:
+        return sum(op.wall_time_s for op in self.operators)
 
     def __str__(self) -> str:
         lines = []
@@ -1144,12 +2325,14 @@ class PlanProfile:
                 f"{i}. {op.operator}  "
                 f"[rows {op.rows_in} -> {op.rows_out}, "
                 f"{op.tuples_accessed} tuples, "
-                f"{op.indexed_lookups} lookups, {op.full_scans} scans]"
+                f"{op.indexed_lookups} lookups, {op.full_scans} scans, "
+                f"{op.wall_time_s * 1e6:.1f} us]"
             )
         lines.append(
             f"answers: {len(self.rows)} rows, "
             f"{self.tuples_accessed} tuples accessed "
-            f"(bound {self.plan.fanout_bound})"
+            f"(bound {self.plan.fanout_bound}), "
+            f"{self.wall_time_s * 1e6:.1f} us"
         )
         return "\n".join(lines)
 
@@ -1158,20 +2341,37 @@ def profile_plan(
     plan: Plan,
     db,
     parameters: Mapping[object, object] | None = None,
+    *,
+    fused: bool = False,
     **kwargs: object,
 ) -> PlanProfile:
-    """Like :func:`execute_plan`, but record per-operator row counts and
-    access-statistics deltas along the way."""
+    """Like :func:`execute_plan`, but record per-operator row counts,
+    access-statistics deltas and wall time along the way.
+
+    By default the *unfused* operator sequence is profiled -- one entry
+    per logical operator, the form fusion decisions are made from.  Pass
+    ``fused=True`` to profile the hot-path sequence :func:`execute_plan`
+    actually runs (prefilter + fused tail).
+    """
     seed = _seed_assignment(plan, parameters, kwargs)
     if not plan.satisfiable:
         return PlanProfile(plan, (), ())
     ctx = _as_context(db)
+    pipe = pipeline_for(plan)
+    if fused:
+        ops = pipe.fused if pipe.prefilter is None else (pipe.prefilter, *pipe.fused)
+    else:
+        ops = tuple(pipe)
     profiles: list[OperatorProfile] = []
-    batch: list = [seed]
-    for op in pipeline_for(plan):
+    batch = ColumnarBatch.seed(pipe.slots, seed)
+    for op in ops:
         before = ctx.stats.snapshot()
+        start = perf_counter()
         out = op.run(ctx, batch)
-        _profile(profiles, str(op), len(batch), len(out), ctx.stats.since(before))
+        elapsed = perf_counter() - start
+        _profile(
+            profiles, str(op), len(batch), len(out), ctx.stats.since(before), elapsed
+        )
         batch = out
     return PlanProfile(plan, tuple(batch), tuple(profiles))
 

@@ -114,7 +114,7 @@ class Plan:
         "head_terms",
         "satisfiable",
         "view_relations",
-        "_pipeline",
+        "_fanout_bound",
     )
 
     def __init__(
@@ -132,9 +132,7 @@ class Plan:
         self.head_terms = head_terms
         self.satisfiable = satisfiable
         self.view_relations = frozenset(view_relations)
-        # The lowered physical-operator pipeline, memoized by
-        # repro.core.executor.pipeline_for on first execution.
-        self._pipeline = None
+        self._fanout_bound: int | None = None
 
     def __repr__(self) -> str:
         return (
@@ -152,9 +150,14 @@ class Plan:
         of the fetches above them (each branch of the left-deep join can
         fan out by at most the rule's bound), plus one probe per branch.
         """
-        if not self.satisfiable:
-            return 0
-        return sum(cost.accesses for cost in self.step_costs())
+        bound = self._fanout_bound
+        if bound is None:
+            if not self.satisfiable:
+                bound = 0
+            else:
+                bound = sum(cost.accesses for cost in self.step_costs())
+            self._fanout_bound = bound
+        return bound
 
     def step_costs(self) -> tuple[StepCost, ...]:
         """Per-step worst-case cost estimates (see :class:`StepCost`).

@@ -17,6 +17,7 @@ negations, e.g. ``Atom("p", ["?x"]) & ~Atom("q", ["?x"])``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import chain
 from typing import Iterable, Iterator, Mapping
 
@@ -59,9 +60,15 @@ def _as_variable(value: object) -> Variable:
     if isinstance(value, Variable):
         return value
     if isinstance(value, str):
-        name = value[1:] if value.startswith("?") else value
-        return Variable(name)
+        return _variable_from_name(value)
     raise TypeError(f"cannot interpret {value!r} as a variable")
+
+
+@lru_cache(maxsize=4096)
+def _variable_from_name(value: str) -> Variable:
+    # Parameter names recur on every execution (the facade coerces each
+    # key per call); memoize so the hot path reuses one Variable per name.
+    return Variable(value[1:] if value.startswith("?") else value)
 
 
 def _as_variables(value: object) -> tuple[Variable, ...]:

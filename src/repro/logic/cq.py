@@ -66,7 +66,7 @@ def resolve_equalities(equalities: Sequence[Equality]) -> Substitution | None:
 class ConjunctiveQuery:
     """A conjunctive query with head variables, body atoms and equalities."""
 
-    __slots__ = ("head", "body", "equalities")
+    __slots__ = ("head", "body", "equalities", "_hash")
 
     def __init__(
         self,
@@ -113,7 +113,16 @@ class ConjunctiveQuery:
         )
 
     def __hash__(self) -> int:
-        return hash((self.head, self.body, self.equalities))
+        # Queries key plan caches, so a hot parameterized workload hashes
+        # the same query on every execute: compute the (deep, atom-by-atom)
+        # hash once and reuse it.  The instance is immutable after
+        # __init__, so the cached value can never go stale.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.head, self.body, self.equalities))
+            self._hash = value
+            return value
 
     def __repr__(self) -> str:
         return (

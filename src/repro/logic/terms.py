@@ -21,12 +21,24 @@ class Variable:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "_hash", hash(self.name))
 
     def __str__(self) -> str:
         return self.name
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
+
+
+def _variable_hash(self: Variable) -> int:
+    return self._hash
+
+
+# Variables key every assignment, slot table and dedup set in the
+# executor; the dataclass-generated __hash__ builds a (name,) tuple per
+# call.  Hash once at construction instead (equality is unchanged, and
+# hash(name) agrees with it exactly as the generated hash did).
+Variable.__hash__ = _variable_hash  # type: ignore[method-assign]
 
 
 @functools.total_ordering

@@ -16,7 +16,7 @@ from repro.logic.terms import Variable
 class UnionOfConjunctiveQueries:
     """A union ``Q1 UNION ... UNION Qn`` of same-arity conjunctive queries."""
 
-    __slots__ = ("disjuncts",)
+    __slots__ = ("disjuncts", "_hash")
 
     def __init__(self, disjuncts: Iterable[ConjunctiveQuery]):
         self.disjuncts = tuple(disjuncts)
@@ -36,7 +36,14 @@ class UnionOfConjunctiveQueries:
         )
 
     def __hash__(self) -> int:
-        return hash(self.disjuncts)
+        # Cached like ConjunctiveQuery.__hash__: unions key plan caches
+        # too, and the disjunct tuple is immutable after construction.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self.disjuncts)
+            self._hash = value
+            return value
 
     def __repr__(self) -> str:
         return f"UnionOfConjunctiveQueries({self.disjuncts!r})"

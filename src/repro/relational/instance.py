@@ -44,6 +44,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError, UpdateError
 from repro.logic.terms import Constant
+from repro.relational.interning import intern_row
 from repro.relational.schema import DatabaseSchema
 
 Row = tuple[object, ...]
@@ -54,7 +55,7 @@ Row = tuple[object, ...]
 NetDelta = dict[str, dict[Row, int]]
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessStats:
     """Counters for tuple accesses performed against a database."""
 
@@ -263,7 +264,7 @@ class Database:
         indexes = self._indexes[relation]
         applied = 0
         for row in rows:
-            row = rel.validate_tuple(tuple(_plain(v) for v in row))
+            row = intern_row(rel.validate_tuple(tuple(_plain(v) for v in row)))
             if row in store:
                 if strict:
                     raise UpdateError(
@@ -295,7 +296,7 @@ class Database:
         indexes = self._indexes[relation]
         applied = 0
         for row in rows:
-            row = rel.validate_tuple(tuple(_plain(v) for v in row))
+            row = intern_row(rel.validate_tuple(tuple(_plain(v) for v in row)))
             if row not in store:
                 if strict:
                     raise UpdateError(
@@ -394,6 +395,120 @@ class Database:
             groups.append(rows)
         self._charge(stats, tuples=tuples, lookups=lookups)
         return tuple(groups)
+
+    def lookup_keys(
+        self,
+        relation: str,
+        positions: tuple[int, ...],
+        keys: Sequence[Row],
+        stats: AccessStats | None = None,
+    ) -> Sequence[Sequence[Row]]:
+        """Bulk :meth:`lookup` in the columnar executor's native shape:
+        every key constrains the same ``positions`` (sorted ascending, the
+        form the per-position indexes are keyed on), so the index is
+        resolved once for the whole batch.  One result group per key,
+        aligned with ``keys``; key values must already be plain (the
+        executor interns/unwraps them at lowering and seed time).
+
+        The accounting contract is exactly :meth:`lookup_many`'s: each
+        *distinct* key is fetched and counted once, however often it
+        recurs; an empty ``positions`` degenerates to one shared,
+        counted-once full scan replicated per key.
+
+        Unlike the dict-shaped lookups, the returned groups may be the
+        *live* index buckets -- no per-group defensive copy on the hot
+        path.  Callers must treat them as read-only and consume them
+        before mutating the database (the executor does both).
+        """
+        if not keys:
+            return ()
+        if not positions:
+            return [self.scan(relation, stats)] * len(keys)
+        # The executor calls this once per operator per execution: resolve
+        # the index with one dict probe when it already exists (inserts
+        # and deletes maintain built indexes in place, so an existing
+        # index object is always current) and fall back to the validated
+        # build path only on first sight of (relation, positions).
+        try:
+            index = self._indexes[relation].get(positions)
+        except KeyError:
+            self.schema.relation(relation)  # raises the proper SchemaError
+            raise
+        if index is None:
+            rel = self.schema.relation(relation)
+            self._check_positions(relation, rel.arity, positions)
+            index = self._index_for(relation, positions)
+        if len(keys) == 1:
+            rows = index.get(keys[0], ())
+            cum = self.stats
+            cum.tuples_accessed += len(rows)
+            cum.indexed_lookups += 1
+            if stats is not None:
+                stats.tuples_accessed += len(rows)
+                stats.indexed_lookups += 1
+            return [rows]
+        tuples = 0
+        lookups = 0
+        fetched: dict[Row, Sequence[Row]] = {}
+        groups: list[Sequence[Row]] = []
+        get_cached = fetched.get
+        get_indexed = index.get
+        for key in keys:
+            rows = get_cached(key)
+            if rows is None:
+                rows = get_indexed(key, ())
+                lookups += 1
+                tuples += len(rows)
+                fetched[key] = rows
+            groups.append(rows)
+        cum = self.stats
+        cum.tuples_accessed += tuples
+        cum.indexed_lookups += lookups
+        if stats is not None:
+            stats.tuples_accessed += tuples
+            stats.indexed_lookups += lookups
+        return groups
+
+    def contains_rows(
+        self,
+        relation: str,
+        rows: Sequence[Row],
+        stats: AccessStats | None = None,
+    ) -> tuple[bool, ...]:
+        """Bulk :meth:`contains` for pre-shaped row tuples (the columnar
+        probe builds them straight from batch columns, so values are
+        already plain).  Each *distinct* row is probed -- and accounted --
+        once, exactly like :meth:`contains_many`."""
+        try:
+            store = self._rows[relation]
+        except KeyError:
+            self.schema.relation(relation)  # raises the proper SchemaError
+            raise
+        if len(rows) == 1:
+            present = rows[0] in store
+            cum = self.stats
+            cum.tuples_accessed += 1 if present else 0
+            cum.indexed_lookups += 1
+            if stats is not None:
+                stats.tuples_accessed += 1 if present else 0
+                stats.indexed_lookups += 1
+            return (present,)
+        tuples = 0
+        lookups = 0
+        verdicts: list[bool] = []
+        probed: dict[Row, bool] = {}
+        get_cached = probed.get
+        for row in rows:
+            present = get_cached(row)
+            if present is None:
+                lookups += 1
+                present = row in store
+                if present:
+                    tuples += 1
+                probed[row] = present
+            verdicts.append(present)
+        self._charge(stats, tuples=tuples, lookups=lookups)
+        return tuple(verdicts)
 
     def scan(self, relation: str, stats: AccessStats | None = None) -> tuple[Row, ...]:
         """All tuples of ``relation`` -- a full scan, counted as such."""

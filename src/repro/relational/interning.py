@@ -1,0 +1,42 @@
+"""Constant interning for the columnar hot path.
+
+Every lookup key the executor builds, every stored row and every seed
+parameter funnels through hash-based containers: per-position hash
+indexes, distinct-key dedup dicts, answer dedup dicts.  Strings dominate
+real workloads (names, cities, urls), and CPython caches a str's hash on
+the object -- so making sure one *shared* object represents each
+distinct string value means its hash is computed once for the lifetime
+of the process, and dict probes hit the identity fast path (``x is y``)
+before ever falling back to ``__eq__``.
+
+:func:`intern_value` is that funnel: exact ``str`` values go through
+:func:`sys.intern`; everything else (ints, floats, tuples, arbitrary
+hashables -- and ``str`` subclasses, which :func:`sys.intern` rejects)
+passes through untouched.  :meth:`Database.insert_many
+<repro.relational.instance.Database.insert_many>` interns stored rows,
+the executor interns operator constants at lowering time and parameter
+values at seed time, so by the time a key tuple meets an index both
+sides of every comparison are the same object.
+"""
+
+from __future__ import annotations
+
+from sys import intern as _intern
+
+__all__ = ["intern_value", "intern_row"]
+
+
+def intern_value(value: object) -> object:
+    """``value``, interned when it is an exact ``str`` (identity-stable,
+    hash cached once process-wide); any other value unchanged."""
+    return _intern(value) if type(value) is str else value
+
+
+def intern_row(row: tuple) -> tuple:
+    """``row`` with every exact-``str`` component interned.  Returns the
+    original tuple object when nothing needed interning (the common
+    all-numeric case allocates nothing)."""
+    for v in row:
+        if type(v) is str:
+            return tuple(_intern(v) if type(v) is str else v for v in row)
+    return row

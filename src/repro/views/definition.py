@@ -408,6 +408,54 @@ class ViewState:
         self._charge(stats, tuples=tuples, lookups=lookups, scans=scans)
         return tuple(groups)
 
+    def lookup_keys(
+        self,
+        positions: tuple[int, ...],
+        keys: Sequence[Row],
+        stats: AccessStats | None = None,
+    ) -> Sequence[Sequence[Row]]:
+        """Bulk :meth:`lookup` in the columnar executor's native shape
+        (every key constrains the same sorted ``positions``); the same
+        accounting contract as :meth:`lookup_many` -- distinct keys
+        resolved and counted once, empty ``positions`` one shared scan.
+        Like the database's ``lookup_keys``, the returned groups may be
+        live index buckets: read-only, consume before mutating."""
+        if not keys:
+            return ()
+        if not positions:
+            rows = tuple(self._order)
+            self._charge(stats, tuples=len(rows), scans=1)
+            return [rows] * len(keys)
+        # Per-operator-per-execution call: one dict probe resolves an
+        # already-built index (refresh maintains built indexes), with the
+        # validated build path only on first sight of ``positions``.
+        index = self._indexes.get(positions)
+        if index is None:
+            self._check_positions(positions)
+            index = self._index_for(positions)
+        if len(keys) == 1:
+            rows = index.get(keys[0], ())
+            if stats is not None:
+                stats.tuples_accessed += len(rows)
+                stats.indexed_lookups += 1
+            return [rows]
+        tuples = 0
+        lookups = 0
+        fetched: dict[Row, Sequence[Row]] = {}
+        groups: list[Sequence[Row]] = []
+        get_cached = fetched.get
+        get_indexed = index.get
+        for key in keys:
+            rows = get_cached(key)
+            if rows is None:
+                rows = get_indexed(key, ())
+                lookups += 1
+                tuples += len(rows)
+                fetched[key] = rows
+            groups.append(rows)
+        self._charge(stats, tuples=tuples, lookups=lookups)
+        return groups
+
     def contains(
         self, row: Sequence[object], stats: AccessStats | None = None
     ) -> bool:
@@ -432,6 +480,31 @@ class ViewState:
             if present is None:
                 lookups += 1
                 present = row in self._order
+                if present:
+                    tuples += 1
+                probed[row] = present
+            verdicts.append(present)
+        self._charge(stats, tuples=tuples, lookups=lookups)
+        return tuple(verdicts)
+
+    def contains_rows(
+        self,
+        rows: Sequence[Row],
+        stats: AccessStats | None = None,
+    ) -> tuple[bool, ...]:
+        """Bulk :meth:`contains` for pre-shaped row tuples; distinct rows
+        probed and accounted once, like :meth:`contains_many`."""
+        tuples = 0
+        lookups = 0
+        verdicts: list[bool] = []
+        probed: dict[Row, bool] = {}
+        get_cached = probed.get
+        store = self._order
+        for row in rows:
+            present = get_cached(row)
+            if present is None:
+                lookups += 1
+                present = row in store
                 if present:
                     tuples += 1
                 probed[row] = present
@@ -665,7 +738,17 @@ class ViewSet:
         """An immutable ``(version, definitions)`` catalog read in one
         locked step -- what the Engine compiles against, so a concurrent
         register/drop can never mismatch the rewrite and the extended
-        schema (memoized per version)."""
+        schema (memoized per version).
+
+        The memoized read is lock-free: the attribute is replaced
+        atomically (reset to None under the registry lock by
+        register/drop, rebuilt here), and a reader that observes a
+        just-replaced catalog still gets a *consistent* (version,
+        definitions) pair -- its plan-cache key is simply stranded by
+        the version bump."""
+        catalog = self._catalog
+        if catalog is not None:
+            return catalog
         with self._lock:
             catalog = self._catalog
             if catalog is None:
@@ -700,6 +783,30 @@ class ViewSet:
         lock, never the registry lock: preparing V1 does not block an
         execute that only reads V2, nor registry reads/compiles.
         """
+        if names is not None:
+            # Fast path for the per-execute call: every requested view is
+            # already materialized against ``db``, still registered and
+            # fresh at the current change-log watermark -- serve the
+            # existing states without taking any lock.  Each dict read is
+            # individually atomic, and a racing register/drop/refresh can
+            # only make one of the checks fail (a state's watermark is
+            # advanced *after* its rows, at the end of refresh), which
+            # drops to the locked slow path below.
+            watermark = db.change_log.watermark
+            fresh: dict[str, ViewState] | None = {}
+            for name in names:
+                state = self._states.get(name)
+                if (
+                    state is None
+                    or state.db is not db
+                    or state.watermark != watermark
+                    or name not in self._defs
+                ):
+                    fresh = None
+                    break
+                fresh[name] = state
+            if fresh is not None:
+                return fresh
         with self._lock:
             if names is None:
                 names = tuple(self._defs)

@@ -1,0 +1,409 @@
+"""Tests for the columnar executor layer (repro.core.columnar and the
+compiled pipeline built on it).
+
+Covers the five pillars of the PR-8 representation change: slot-table
+compilation (variable -> column index, fixed per plan), constant
+interning identity, fused-vs-unfused equivalence on seeded workloads,
+delta-join vectorization under mixed churn, and the pipeline LRU cache's
+eviction/stats discipline.
+"""
+
+from sys import intern as sys_intern
+
+import pytest
+
+from repro import (
+    AccessRule,
+    AccessSchema,
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    DatabaseSchema,
+    RelationSchema,
+    compile_plan,
+)
+from repro.core.columnar import (
+    ColumnarBatch,
+    PipelineCache,
+    PipelineCacheStats,
+    SignedColumnarBatch,
+    SlotTable,
+)
+from repro.core.executor import (
+    ExecutionContext,
+    FetchOp,
+    ProjectDedupOp,
+    _FusedFetchProject,
+    build_pipeline,
+    execute_per_tuple,
+    execute_plan,
+    merge_parameter_values,
+    pipeline_cache_stats,
+    pipeline_for,
+)
+from repro.logic.terms import Constant, Variable
+from repro.relational.interning import intern_row, intern_value
+from repro.workloads import (
+    RUNNING_QUERIES,
+    generate_churn,
+    generate_social_network,
+    social_engine,
+)
+
+P, X, N = Variable("p"), Variable("x"), Variable("n")
+
+
+class TestSlotTable:
+    def test_first_seen_order_and_dedup(self):
+        table = SlotTable([P, X, P, N, X])
+        assert table.variables == (P, X, N)
+        assert [table.slot(v) for v in (P, X, N)] == [0, 1, 2]
+
+    def test_container_protocol(self):
+        table = SlotTable([P, X])
+        assert len(table) == 2
+        assert P in table and N not in table
+        assert list(table) == [P, X]
+
+    def test_extend_returns_self_when_nothing_new(self):
+        table = SlotTable([P, X])
+        assert table.extend([X, P]) is table
+
+    def test_extend_appends_fresh_variables_stably(self):
+        table = SlotTable([P, X])
+        grown = table.extend([X, N])
+        assert grown.variables == (P, X, N)
+        assert grown.slot(P) == table.slot(P)  # existing slots unmoved
+
+
+class TestSlotCompilation:
+    """The per-plan slot table compiled at lowering time."""
+
+    def q1_plan(self, social_access):
+        q = ConjunctiveQuery(
+            ["x"],
+            [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+        )
+        return compile_plan(q, social_access, ["p"])
+
+    def test_slots_cover_parameters_atoms_and_head(self, social_access):
+        pipe = build_pipeline(self.q1_plan(social_access))
+        assert set(pipe.slots.variables) == {P, X, N}
+        assert pipe.slots.variables[0] == P  # parameters lead
+        assert pipe.width == len(pipe.slots.variables)
+
+    def test_seed_slots_are_the_declared_parameters(self, social_access):
+        pipe = build_pipeline(self.q1_plan(social_access))
+        assert [(slot, var) for slot, var in pipe.seed_slots] == [
+            (pipe.slots.slot(P), P)
+        ]
+        assert pipe.params == frozenset([P])
+
+    def test_unsatisfiable_plan_lowers_to_the_empty_pipeline(self, social_access):
+        q = ConjunctiveQuery(
+            ["x"],
+            [Atom("friend", ["?p", "?x"])],
+            [
+                # ?p equated to two distinct constants: unsatisfiable.
+                *(
+                    __import__("repro").Equality(P, Constant(value))
+                    for value in (1, 2)
+                )
+            ],
+        )
+        plan = compile_plan(q, social_access, ["p"])
+        pipe = build_pipeline(plan)
+        assert pipe == ()
+        assert pipe.width == 0 and pipe.terminal is None
+
+
+class TestColumnarBatch:
+    def test_roundtrip_from_and_to_assignments(self):
+        assignments = [{P: 1, X: 2}, {P: 1, X: 3}, {P: 4, X: 5}]
+        batch = ColumnarBatch.from_assignments(assignments)
+        assert batch.length == 3
+        assert batch.to_assignments() == assignments
+
+    def test_ragged_assignments_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ColumnarBatch.from_assignments([{P: 1, X: 2}, {P: 3}])
+
+    def test_seed_binds_parameters_only(self):
+        slots = SlotTable([P, X, N])
+        batch = ColumnarBatch.seed(slots, {P: 7})
+        assert batch.length == 1
+        assert batch.column(P) == [7]
+        assert batch.column_or_none(X) is None
+        with pytest.raises(KeyError):
+            batch.column(X)
+
+    def test_select_gathers_bound_columns(self):
+        batch = ColumnarBatch.from_assignments(
+            [{P: 1, X: 10}, {P: 2, X: 20}, {P: 3, X: 30}]
+        )
+        sub = batch.select([2, 0])
+        assert sub.to_assignments() == [{P: 3, X: 30}, {P: 1, X: 10}]
+        assert sub.slots is batch.slots
+
+    def test_signed_batch_pairs_roundtrip(self):
+        pairs = [({P: 1}, 1), ({P: 2}, -1)]
+        signed = SignedColumnarBatch.from_pairs(pairs)
+        assert len(signed) == 2
+        assert signed.to_pairs() == pairs
+
+
+class TestInterningIdentity:
+    def test_merge_parameter_values_interns_exact_strings(self):
+        # A runtime-built string is a distinct object pre-interning.
+        city = "".join(["N", "Y", "C"])
+        values = merge_parameter_values({"c": city}, {})
+        assert values[Variable("c")] is sys_intern("NYC")
+
+    def test_kwargs_and_constant_wrappers_intern_too(self):
+        values = merge_parameter_values(
+            {"a": Constant("".join(["S", "F"]))}, {"b": "".join(["L", "A"])}
+        )
+        assert values[Variable("a")] is sys_intern("SF")
+        assert values[Variable("b")] is sys_intern("LA")
+
+    def test_str_subclasses_and_non_strings_pass_through(self):
+        class Label(str):
+            pass
+
+        label = Label("NYC")
+        assert intern_value(label) is label  # sys.intern rejects subclasses
+        assert intern_value(42) == 42
+
+    def test_intern_row_returns_original_tuple_when_all_numeric(self):
+        row = (1, 2.5, 3)
+        assert intern_row(row) is row
+
+    def test_stored_rows_share_the_parameter_string_object(self):
+        schema = DatabaseSchema([RelationSchema("person", ["pid", "city"])])
+        db = Database(schema, {"person": [(1, "".join(["N", "Y", "C"]))]})
+        ((row,),) = db.lookup_keys("person", (0,), [(1,)])
+        values = merge_parameter_values({"c": "".join(["N", "Y", "C"])}, {})
+        # Both sides funneled through interning: identity, not just equality.
+        assert row[1] is values[Variable("c")]
+
+
+class TestFusion:
+    def test_trailing_fetch_and_project_fuse(self, social_access):
+        q = ConjunctiveQuery(
+            ["x"],
+            [Atom("friend", ["?p", "?x"]), Atom("person", ["?x", "?n", "NYC"])],
+        )
+        pipe = build_pipeline(compile_plan(q, social_access, ["p"]))
+        # The unfused face keeps the addressable operators...
+        assert isinstance(pipe[-2], FetchOp)
+        assert isinstance(pipe[-1], ProjectDedupOp)
+        # ...while the hot-path sequence collapses the pair.
+        assert isinstance(pipe.fused[-1], _FusedFetchProject)
+        assert pipe.fused[-1].fetch is pipe[-2]
+        assert pipe.fused[-1].project is pipe[-1]
+
+    @staticmethod
+    def run_unfused(plan, db, values):
+        """Execute via the unfused operator objects one batch at a time --
+        the semantic reference for the compiled fused closures."""
+        pipe = build_pipeline(plan)
+        if pipe == ():
+            return []
+        ctx = ExecutionContext(db)
+        merged = merge_parameter_values(values, {})
+        batch = ColumnarBatch.seed(
+            pipe.slots, {v: merged[v] for v in plan.parameters}
+        )
+        *body, terminal = list(pipe)
+        for op in body:
+            batch = op.run(ctx, batch)
+        return terminal.run(ctx, batch)
+
+    @pytest.mark.parametrize("bundle", RUNNING_QUERIES, ids=lambda b: b.name)
+    def test_fused_equals_unfused_on_seeded_workload(self, bundle):
+        engine = social_engine(60, seed=1)
+        db = engine.require_database()
+        prepared = bundle.prepare(engine)
+        plan = prepared.plan(bundle.parameters)
+        param = bundle.parameters[0]
+        for pid in range(0, 60, 7):
+            values = {param: pid}
+            fused = set(execute_plan(plan, db, values))
+            unfused = set(self.run_unfused(plan, db, values))
+            reference = set(execute_per_tuple(plan, db, values))
+            assert fused == unfused == reference, (
+                f"{bundle.name} diverges at pid={pid}"
+            )
+
+    def test_fused_terminal_respects_consistency_checks(self, social_db):
+        # Repeated variable in the terminal atom: the fused path must
+        # apply the same fetched-row check the unfused FetchOp does.
+        schema = social_db.schema
+        access = AccessSchema(
+            schema,
+            [
+                AccessRule("friend", ["pid1"], bound=10),
+                AccessRule("person", ["pid"], bound=1),
+            ],
+        )
+        q = ConjunctiveQuery(
+            ["x", "m"],
+            [
+                Atom("friend", ["?p", "?x"]),
+                Atom("person", ["?x", "?m", "?c"]),
+            ],
+        )
+        plan = compile_plan(q, access, ["p", "c"])
+        for city in ("NYC", "SF", "nowhere"):
+            values = {"p": 1, "c": city}
+            assert set(execute_plan(plan, social_db, values)) == set(
+                execute_per_tuple(plan, social_db, values)
+            )
+
+
+class TestDeltaVectorization:
+    """run_delta over a many-row signed batch must equal the row-at-a-time
+    decomposition -- vectorization changes the batching, never the
+    multiset of signed derivations."""
+
+    def _delta_ctx(self, persons=50, seed=2):
+        engine = social_engine(persons, seed=seed)
+        db = engine.require_database()
+        mark = db.change_log.watermark
+        for batch in generate_churn(
+            generate_social_network(persons, seed=seed),
+            batches=3,
+            batch_size=15,
+            seed=seed + 1,
+            delete_fraction=0.5,  # mixed churn: inserts and deletes
+        ):
+            batch.apply(db)
+        delta = db.change_log.net_since(mark)
+        assert any(sign > 0 for net in delta.values() for sign in net.values())
+        assert any(sign < 0 for net in delta.values() for sign in net.values())
+        return engine, db, delta
+
+    @staticmethod
+    def _signed_multiset(signed):
+        return sorted(
+            (tuple(sorted((str(v), val) for v, val in a.items())), s)
+            for a, s in signed.to_pairs()
+        )
+
+    def test_batched_run_delta_equals_row_at_a_time(self):
+        engine, db, delta = self._delta_ctx()
+        q = ConjunctiveQuery(["x"], [Atom("friend", ["?p", "?x"])])
+        plan = compile_plan(q, engine.access, ["p"])
+        fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
+        pairs = [({P: pid}, 1 if pid % 2 else -1) for pid in range(12)]
+
+        ctx = ExecutionContext(db, delta=delta)
+        vectorized = fetch.run_delta(ctx, SignedColumnarBatch.from_pairs(pairs))
+
+        one_by_one = []
+        for pair in pairs:
+            ctx1 = ExecutionContext(db, delta=delta)
+            out = fetch.run_delta(ctx1, SignedColumnarBatch.from_pairs([pair]))
+            one_by_one.extend(out.to_pairs())
+        combined = SignedColumnarBatch.from_pairs(one_by_one or [({}, 1)][:0])
+        assert self._signed_multiset(vectorized) == sorted(
+            (tuple(sorted((str(v), val) for v, val in a.items())), s)
+            for a, s in one_by_one
+        )
+
+    def test_run_old_and_run_delta_telescope_to_the_new_state(self):
+        """old + delta == new, as multisets of derivations, for a fetch
+        over the mutated relation -- the telescoping identity the
+        incremental driver relies on, checked at the operator level."""
+        engine, db, delta = self._delta_ctx()
+        q = ConjunctiveQuery(["x"], [Atom("friend", ["?p", "?x"])])
+        plan = compile_plan(q, engine.access, ["p"])
+        fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
+        x = next(t for t in fetch.atom.terms if t == Variable("x"))
+
+        for pid in range(0, 50, 11):
+            seed = [({P: pid}, 1)]
+            new_ctx = ExecutionContext(db)
+            new_rows = sorted(
+                a[x]
+                for a in fetch.run(
+                    new_ctx, ColumnarBatch.from_assignments([{P: pid}])
+                ).to_assignments()
+            )
+            old_ctx = ExecutionContext(db, delta=delta)
+            counts: dict = {}
+            for a, s in fetch.run_old(
+                old_ctx, SignedColumnarBatch.from_pairs(seed)
+            ).to_pairs():
+                counts[a[x]] = counts.get(a[x], 0) + s
+            for a, s in fetch.run_delta(
+                ExecutionContext(db, delta=delta),
+                SignedColumnarBatch.from_pairs(seed),
+            ).to_pairs():
+                counts[a[x]] = counts.get(a[x], 0) + s
+            telescoped = sorted(v for v, c in counts.items() for _ in range(c))
+            assert telescoped == new_rows, f"telescoping fails at pid={pid}"
+
+
+class TestPipelineCache:
+    def test_lru_eviction_and_stats(self):
+        cache = PipelineCache(maxsize=2)
+        builds: list[object] = []
+
+        def build(key):
+            builds.append(key)
+            return ("pipe", key)
+
+        a, b, c = object(), object(), object()
+        assert cache.get_or_build(a, build) == ("pipe", a)
+        assert cache.get_or_build(b, build) == ("pipe", b)
+        assert cache.get_or_build(a, build) == ("pipe", a)  # hit; a is MRU
+        cache.get_or_build(c, build)  # evicts b (LRU), not a
+        assert cache.get_or_build(a, build) == ("pipe", a)  # still cached
+        cache.get_or_build(b, build)  # rebuilt after eviction
+        assert builds == [a, b, c, b]
+        stats = cache.stats()
+        assert isinstance(stats, PipelineCacheStats)
+        assert stats.misses == 4
+        assert stats.hits == 2
+        assert stats.evictions == 2  # b once, then a pushed out by b
+        assert stats.size == 2 and stats.maxsize == 2
+
+    def test_resize_shrink_evicts_immediately(self):
+        cache = PipelineCache(maxsize=4)
+        keys = [object() for _ in range(4)]
+        for key in keys:
+            cache.get_or_build(key, lambda k: k)
+        cache.resize(1)
+        stats = cache.stats()
+        assert stats.size == 1 and stats.evictions == 3
+        # The survivor is the most recently used entry.
+        hit_before = stats.hits
+        cache.get_or_build(keys[-1], lambda k: k)
+        assert cache.stats().hits == hit_before + 1
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = PipelineCache(maxsize=None)
+        for _ in range(300):
+            cache.get_or_build(object(), lambda k: k)
+        stats = cache.stats()
+        assert stats.evictions == 0 and stats.size == 300
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineCache(maxsize=0)
+        cache = PipelineCache(maxsize=2)
+        with pytest.raises(ValueError):
+            cache.resize(-1)
+
+    def test_pipeline_for_is_cached_with_observable_stats(self, social_access):
+        q = ConjunctiveQuery(["x"], [Atom("friend", ["?p", "?x"])])
+        plan = compile_plan(q, social_access, ["p"])
+        first = pipeline_for(plan)
+        before = pipeline_cache_stats()
+        assert pipeline_for(plan) is first
+        after = pipeline_cache_stats()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses

@@ -334,6 +334,7 @@ class TestExecutionContext:
 class TestDeltaOperatorFaces:
     def test_keyless_fetch_run_delta_joins_every_row(self, social_db):
         from repro import AccessRule, AccessSchema, ConjunctiveQuery
+        from repro.core.columnar import SignedColumnarBatch
         from repro.core.executor import ExecutionContext, FetchOp, pipeline_for
 
         q = ConjunctiveQuery(["x", "y"], [Atom("friend", ["?x", "?y"])])
@@ -342,12 +343,16 @@ class TestDeltaOperatorFaces:
         fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
         assert fetch.key_positions == ()
         ctx = ExecutionContext(social_db, delta={"friend": {(8, 9): 1, (1, 2): -1}})
-        signed = fetch.run_delta(ctx, [({}, 1)])
+        signed = fetch.run_delta(ctx, SignedColumnarBatch.from_pairs([({}, 1)]))
         x, y = fetch.atom.terms
-        assert {((a[x], a[y]), s) for a, s in signed} == {((8, 9), 1), ((1, 2), -1)}
+        assert {((a[x], a[y]), s) for a, s in signed.to_pairs()} == {
+            ((8, 9), 1),
+            ((1, 2), -1),
+        }
 
     def test_embedded_fetch_delta_faces_raise(self, social_schema, social_db):
         from repro import IncrementalError
+        from repro.core.columnar import SignedColumnarBatch
         from repro.core.executor import ExecutionContext, FetchOp, pipeline_for
 
         access = AccessSchema(
@@ -360,12 +365,14 @@ class TestDeltaOperatorFaces:
         plan = compile_plan(Q1, access, ["p"])
         fetch = next(op for op in pipeline_for(plan) if isinstance(op, FetchOp))
         ctx = ExecutionContext(social_db, delta={"friend": {(1, 9): 1}})
+        seed = SignedColumnarBatch.from_pairs([({}, 1)])
         with pytest.raises(IncrementalError):
-            fetch.run_delta(ctx, [({}, 1)])
+            fetch.run_delta(ctx, seed)
         with pytest.raises(IncrementalError):
-            fetch.run_old(ctx, [({}, 1)])
+            fetch.run_old(ctx, seed)
 
     def test_probe_run_delta_multiplies_signs(self, social_db, social_access):
+        from repro.core.columnar import SignedColumnarBatch
         from repro.core.executor import ExecutionContext, ProbeOp
         from repro.logic.terms import Variable
 
@@ -373,6 +380,9 @@ class TestDeltaOperatorFaces:
         a, b = Variable("a"), Variable("b")
         ctx = ExecutionContext(social_db, delta={"friend": {(1, 9): 1, (2, 8): -1}})
         signed = probe.run_delta(
-            ctx, [({a: 1, b: 9}, -1), ({a: 2, b: 8}, 1), ({a: 1, b: 2}, 1)]
+            ctx,
+            SignedColumnarBatch.from_pairs(
+                [({a: 1, b: 9}, -1), ({a: 2, b: 8}, 1), ({a: 1, b: 2}, 1)]
+            ),
         )
-        assert signed == [({a: 1, b: 9}, -1), ({a: 2, b: 8}, -1)]
+        assert signed.to_pairs() == [({a: 1, b: 9}, -1), ({a: 2, b: 8}, -1)]
