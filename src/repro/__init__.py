@@ -10,7 +10,9 @@ The package is organised as follows:
   active-domain semantics, homomorphisms and containment, plus the
   Datalog-style parser (:mod:`repro.logic.parser`).
 * :mod:`repro.relational` -- the relational substrate: schemas (with a
-  textual DSL), instances, hash indexes with tuple-access accounting.
+  textual DSL), instances with tuple-access accounting, and pluggable
+  storage backends (:mod:`repro.relational.backends`): in-memory hash
+  indexes, an out-of-core SQLite store, and a hash-sharded composite.
 * :mod:`repro.core` -- the paper's primary contribution: access schemas
   (with a textual rule DSL), controllability, the scale-independent
   planner (:mod:`repro.core.plans`), the batched physical-operator
@@ -47,7 +49,10 @@ The package is organised as follows:
   repro.bench``): batched vs per-tuple wall time, tuples accessed vs the
   fanout bound, refresh-vs-recompute under churn, view-assisted vs
   base-only execution and view refresh-vs-rematerialize, and plan-cache
-  hit rates, written to ``BENCH_<n>.json``.
+  hit rates, written to ``BENCH_<n>.json`` -- plus a ``--backend`` axis
+  and an out-of-core scale scenario (``--large``) that streams
+  million-row instances into the SQLite store and shows tuples accessed
+  staying exactly flat.
 
 The most frequently used names are re-exported here for convenience.
 """
@@ -81,6 +86,12 @@ from repro.logic.fo import FirstOrderQuery
 from repro.logic.parser import parse_cq, parse_query
 from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
 from repro.relational.instance import AccessStats, ChangeEntry, ChangeLog, Database
+from repro.relational.backends import (
+    MemoryBackend,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+)
 from repro.core.access_schema import (
     AccessRule,
     AccessSchema,
@@ -157,6 +168,11 @@ __all__ = [
     "AccessStats",
     "ChangeEntry",
     "ChangeLog",
+    # storage backends
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "ShardedBackend",
     # access schemas
     "AccessRule",
     "EmbeddedAccessRule",
@@ -213,4 +229,4 @@ __all__ = [
     "Report",
 ]
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

@@ -73,6 +73,7 @@ from repro.logic.cq import ConjunctiveQuery
 from repro.logic.parser import parse_query
 from repro.logic.terms import Variable
 from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.relational.backends.base import StorageBackend
 from repro.relational.instance import AccessStats, Database
 from repro.relational.schema import DatabaseSchema
 from repro.views import ViewSet, compile_with_views
@@ -412,6 +413,14 @@ class Engine:
     Omitting ``access`` means "no access rules" (nothing is controlled);
     omitting ``data`` leaves the engine planning-only until one is bound.
 
+    ``backend`` selects the storage engine
+    (:mod:`repro.relational.backends`) for the database the engine
+    constructs -- from a ``{relation: rows}`` mapping, from ``data=None``
+    (the empty database created on first :meth:`load` / :meth:`add`), or
+    empty at construction when only ``backend`` is given.  It cannot be
+    combined with a ready-made :class:`Database`, which already owns its
+    backend.
+
     ``certify=True`` runs the independent plan certifier
     (:mod:`repro.analysis.certify`) over every plan this engine compiles
     -- base, view-augmented and incremental-rebase plans alike -- inside
@@ -439,6 +448,7 @@ class Engine:
         access: AccessSchema | str | None = None,
         data: Database | Mapping[str, Iterable[Sequence[object]]] | None = None,
         *,
+        backend: "StorageBackend | None" = None,
         plan_cache_size: int | None = 128,
         certify: bool | None = None,
     ):
@@ -458,8 +468,15 @@ class Engine:
             certify = os.environ.get("REPRO_CERTIFY", "") not in ("", "0")
         self._certify = bool(certify)
         self._database: Database | None = None
-        if data is not None:
-            self.database = data if isinstance(data, Database) else Database(schema, data)
+        if isinstance(data, Database):
+            if backend is not None:
+                raise SchemaError(
+                    "backend= cannot be combined with a ready-made Database: "
+                    "the database already owns its storage backend"
+                )
+            self.database = data
+        elif data is not None or backend is not None:
+            self.database = Database(schema, data, backend=backend)
 
     # -- bound components ------------------------------------------------
 

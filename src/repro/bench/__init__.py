@@ -57,6 +57,7 @@ or from code::
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -65,8 +66,10 @@ from typing import Literal, Mapping, Sequence
 from repro.api.engine import Engine
 from repro.core.executor import execute_per_tuple, execute_plan
 from repro.errors import NotControlledError
+from repro.relational import ShardedBackend, SqliteBackend, StorageBackend
 from repro.views import ViewState
 from repro.workloads import (
+    DEFAULT_BLOCK,
     DEFAULT_VIEW_BOUND,
     RUNNING_QUERIES,
     SOCIAL_SCHEMA,
@@ -80,13 +83,33 @@ from repro.workloads import (
     sample_urls,
     social_access_text,
     social_engine,
+    stream_social_network,
 )
 
 #: Numbers the ``BENCH_<n>.json`` trajectory; bump when the measured
 #: pipeline changes materially.
-BENCH_VERSION = 8
+BENCH_VERSION = 9
 
 DEFAULT_SIZES = (100, 1000, 10000)
+
+#: The storage backends the bench can run against (--backend).
+BACKENDS = ("memory", "sqlite", "sharded")
+
+
+def _make_backend(
+    backend: str, shards: int, path: str | None = None
+) -> "StorageBackend | None":
+    """A fresh backend instance for one database (backends are one-shot:
+    each attaches to a single Database).  ``None`` means the default
+    memory backend, keeping the historical construction path -- and its
+    measured numbers -- byte-identical."""
+    if backend == "memory":
+        return None
+    if backend == "sqlite":
+        return SqliteBackend(path)
+    if backend == "sharded":
+        return ShardedBackend(shards)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
 
 
 @dataclass(frozen=True)
@@ -105,6 +128,8 @@ class BenchRecord:
     fanout_bound: int
     indexed_lookups: int  # for the worst-case execution
     full_scans: int  # across the whole run; must stay 0
+    backend: str = "memory"  # storage backend the database ran on
+    rows_loaded: int = 0  # tuples in the database when measured
 
 
 @dataclass(frozen=True)
@@ -142,6 +167,8 @@ class ViewQueryRecord:
     fanout_bound: int  # the view-assisted plan's bound (0 for naive)
     full_scans: int  # across the whole run
     controlled_without_views: bool  # False: base rules alone raise
+    backend: str = "memory"  # storage backend the database ran on
+    rows_loaded: int = 0  # base tuples in the database when measured
 
 
 @dataclass(frozen=True)
@@ -235,6 +262,8 @@ def _run_churn(
     params_per_size: int,
     batches: int,
     batch_size: int,
+    backend: str = "memory",
+    shards: int = 4,
 ) -> list[ChurnRecord]:
     """The churn scenario at one database size: materialize incremental
     results for every (query, parameter), apply the seeded churn stream,
@@ -248,7 +277,12 @@ def _run_churn(
     # Generate the instance once and hand it to both the engine and the
     # churn derivation (social_engine would generate an identical copy).
     data = generate_social_network(size, **engine_kwargs)
-    engine = Engine(SOCIAL_SCHEMA, social_access_text(**caps), data)
+    engine = Engine(
+        SOCIAL_SCHEMA,
+        social_access_text(**caps),
+        data,
+        backend=_make_backend(backend, shards),
+    )
     db = engine.require_database()
     stream = generate_churn(
         data, batches=batches, batch_size=batch_size, seed=seed + 1, **caps
@@ -326,6 +360,8 @@ def _run_views(
     repeats: int,
     batches: int,
     batch_size: int,
+    backend: str = "memory",
+    shards: int = 4,
 ) -> tuple[list[ViewQueryRecord], list[ViewMaintenanceRecord]]:
     """The view scenario at one database size: Q4/Q5 through V1/V2
     (bounded, differential-checked against naive evaluation) plus
@@ -344,8 +380,14 @@ def _run_views(
                 f"declared view bound {DEFAULT_VIEW_BOUND} at size {size}: "
                 f"the workload views' promise would be untruthful"
             )
-    engine = Engine(SOCIAL_SCHEMA, social_access_text(**caps), data)
+    engine = Engine(
+        SOCIAL_SCHEMA,
+        social_access_text(**caps),
+        data,
+        backend=_make_backend(backend, shards),
+    )
     db = engine.require_database()
+    rows_loaded = db.size()
     streams: dict[str, list[dict]] = {
         "Q4": [{"p": pid} for pid in sample_pids(size, params_per_size, seed=seed)],
         "Q5": [{"u": url} for url in sample_urls(data, params_per_size, seed=seed)],
@@ -401,6 +443,8 @@ def _run_views(
                 fanout_bound=bound,
                 full_scans=scans,
                 controlled_without_views=controlled[bundle.name],
+                backend=backend,
+                rows_loaded=rows_loaded,
             )
         )
 
@@ -445,6 +489,8 @@ def _run_views(
                 fanout_bound=0,
                 full_scans=naive_scans,
                 controlled_without_views=controlled[bundle.name],
+                backend=backend,
+                rows_loaded=rows_loaded,
             )
         )
 
@@ -529,6 +575,8 @@ def run_bench(
     views: bool = True,
     view_batches: int = 4,
     view_batch_size: int = 16,
+    backend: str = "memory",
+    shards: int = 4,
     output: str | Path | None | Literal[False] = None,
 ) -> dict:
     """Run the workload ``queries`` at each database size in ``sizes`` and
@@ -538,13 +586,18 @@ def run_bench(
     mutation stream (``churn_batches=0`` disables it).  ``views``
     toggles the Section 6 scenario (Q4/Q5 through V1/V2 plus
     refresh-vs-rematerialize maintenance shaped by ``view_batches`` /
-    ``view_batch_size``).  ``output`` -- path for the JSON document;
-    ``None`` writes the default ``BENCH_<n>.json`` in the current
-    directory; pass ``output=False`` to skip writing.
+    ``view_batch_size``).  ``backend`` selects the storage engine every
+    scenario's database runs on (:data:`BACKENDS`; ``shards`` sizes the
+    sharded composite) -- the same compiled plans run against all of
+    them, which is the point of the backend axis.  ``output`` -- path for
+    the JSON document; ``None`` writes the default ``BENCH_<n>.json`` in
+    the current directory; pass ``output=False`` to skip writing.
     """
     sizes = tuple(sizes)
     if not sizes or any(s < 2 for s in sizes):
         raise ValueError(f"sizes must be >= 2, got {sizes!r}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     engine_kwargs: dict = {"seed": seed}
     if max_friends is not None:
         engine_kwargs["max_friends"] = max_friends
@@ -552,8 +605,11 @@ def run_bench(
     records: list[BenchRecord] = []
     cache_stats: dict[int, dict[str, float]] = {}
     for size in sizes:
-        engine = social_engine(size, **engine_kwargs)
+        engine = social_engine(
+            size, **engine_kwargs, backend=_make_backend(backend, shards)
+        )
         db = engine.require_database()
+        rows_loaded = db.size()
         cache_before = engine.cache_stats()
         for bundle in queries:
             prepared = bundle.prepare(engine)
@@ -591,6 +647,8 @@ def run_bench(
                         fanout_bound=plan.fanout_bound,
                         indexed_lookups=lookups,
                         full_scans=scans,
+                        backend=backend,
+                        rows_loaded=rows_loaded,
                     )
                 )
         cache_after = engine.cache_stats()
@@ -614,6 +672,8 @@ def run_bench(
                     params_per_size=params_per_size,
                     batches=churn_batches,
                     batch_size=churn_batch_size,
+                    backend=backend,
+                    shards=shards,
                 )
             )
 
@@ -629,6 +689,8 @@ def run_bench(
                 repeats=repeats,
                 batches=view_batches,
                 batch_size=view_batch_size,
+                backend=backend,
+                shards=shards,
             )
             view_records.extend(query_records)
             view_maintenance.extend(maintenance_records)
@@ -647,6 +709,8 @@ def run_bench(
         "sizes": list(sizes),
         "repeats": repeats,
         "params_per_size": params_per_size,
+        "backend": backend,
+        "shards": shards if backend == "sharded" else None,
         "records": [asdict(r) for r in records],
         "churn": {
             "batches": churn_batches,
@@ -674,6 +738,266 @@ def run_bench(
     if output is not False:
         write_bench(doc, output)
     return doc
+
+
+#: Default sizes for the out-of-core scale scenario: the BENCH_8-scale
+#: reference point and the million-row claim.
+LARGE_SIZES = (10_000, 1_000_000)
+
+
+def run_large_bench(
+    sizes: Sequence[int] = LARGE_SIZES,
+    *,
+    backend: str = "sqlite",
+    shards: int = 4,
+    seed: int = 0,
+    repeats: int = 3,
+    params_per_size: int = 8,
+    block: int | None = None,
+    views: bool = True,
+    sqlite_dir: str | Path | None = None,
+) -> dict:
+    """The out-of-core scale scenario: stream block-structured instances
+    of each size into a fresh backend via
+    :meth:`~repro.relational.instance.Database.bulk_load` (never holding
+    more than one generator block in Python memory) and measure Q1-Q3
+    plus, with ``views``, the view-assisted Q4/Q5.
+
+    The block structure (see
+    :func:`~repro.workloads.stream_social_network`) makes the scale
+    claim exact: parameters are sampled from block 0, which is identical
+    at every size, so ``tuples_accessed_max`` must be *equal* -- not just
+    bounded -- across sizes; the returned ``summary`` records that
+    flatness per query.  The unbounded baselines (naive evaluation,
+    churn recompute) are deliberately skipped: at millions of rows they
+    are exactly the full-scan work scale independence exists to avoid.
+
+    ``block=None`` uses ``min(min(sizes), DEFAULT_BLOCK)`` so the
+    smallest size is a single block.  SQLite stores go to files under
+    ``sqlite_dir`` (a temporary directory by default, removed
+    afterwards) -- at 1M persons the store is hundreds of MB, which is
+    the point: the data lives on disk, not in the Python heap.
+    """
+    sizes = tuple(sizes)
+    if not sizes or any(s < 2 for s in sizes):
+        raise ValueError(f"sizes must be >= 2, got {sizes!r}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    block_size = block if block is not None else min(min(sizes), DEFAULT_BLOCK)
+
+    cleanup = None
+    if backend == "sqlite" and sqlite_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        sqlite_dir = cleanup.name
+
+    records: list[BenchRecord] = []
+    view_records: list[ViewQueryRecord] = []
+    load_stats: dict[str, dict] = {}
+    try:
+        for size in sizes:
+            path = (
+                str(Path(sqlite_dir) / f"social_{size}.sqlite3")
+                if backend == "sqlite"
+                else None
+            )
+            engine = Engine(
+                SOCIAL_SCHEMA,
+                social_access_text(),
+                backend=_make_backend(backend, shards, path),
+            )
+            db = engine.require_database()
+
+            # Stream-load block by block, tracking the measured in-degree
+            # ceilings as we go (blocks are disjoint in both pid and url
+            # space, so the per-chunk maximum is the global maximum) and
+            # keeping block 0's visits for Q5's parameter stream.
+            load_start = time.perf_counter()
+            rows_loaded = 0
+            in_degree = {"friend": 0, "visits": 0}
+            block0_visits: list | None = None
+            for relation, rows in stream_social_network(
+                size, seed=seed, block=block_size
+            ):
+                if relation in in_degree and rows:
+                    counts: dict = {}
+                    for row in rows:
+                        counts[row[1]] = counts.get(row[1], 0) + 1
+                    in_degree[relation] = max(
+                        in_degree[relation], max(counts.values())
+                    )
+                if relation == "visits" and block0_visits is None:
+                    block0_visits = rows
+                rows_loaded += db.bulk_load(relation, rows)
+            load_wall = time.perf_counter() - load_start
+            for relation, worst in in_degree.items():
+                if worst > DEFAULT_VIEW_BOUND:
+                    raise AssertionError(
+                        f"measured in-degree {worst} of {relation!r} exceeds "
+                        f"the declared view bound {DEFAULT_VIEW_BOUND} at "
+                        f"size {size}: the workload views' promise would be "
+                        f"untruthful"
+                    )
+            load_stats[str(size)] = {
+                "rows_loaded": rows_loaded,
+                "load_wall_s": round(load_wall, 3),
+                "max_in_degree": dict(in_degree),
+            }
+
+            # Parameters come from block 0, identical at every size.
+            pids = sample_pids(min(size, block_size), params_per_size, seed=seed)
+            urls = sample_urls(
+                {"visits": block0_visits or []}, params_per_size, seed=seed
+            )
+
+            for bundle in RUNNING_QUERIES:
+                prepared = bundle.prepare(engine)
+                plan = prepared.plan(bundle.parameters)
+                param_values = [{bundle.parameters[0]: pid} for pid in pids]
+                for values in param_values:  # warm plan cache + indexes
+                    prepared.execute(values)
+                for mode, runner in (
+                    ("batched", execute_plan),
+                    ("per_tuple", execute_per_tuple),
+                ):
+                    n_rows, tuples_max, lookups, scans = _measure_access(
+                        plan, db, runner, param_values
+                    )
+                    wall = _time_executions(plan, db, runner, param_values, repeats)
+                    p50, p99 = _latency_percentiles(
+                        lambda values: runner(plan, db, values), param_values
+                    )
+                    records.append(
+                        BenchRecord(
+                            query=bundle.name,
+                            size=size,
+                            mode=mode,
+                            executions=len(param_values) * repeats,
+                            wall_time_s=wall,
+                            p50_s=p50,
+                            p99_s=p99,
+                            rows=n_rows,
+                            tuples_accessed_max=tuples_max,
+                            fanout_bound=plan.fanout_bound,
+                            indexed_lookups=lookups,
+                            full_scans=scans,
+                            backend=backend,
+                            rows_loaded=rows_loaded,
+                        )
+                    )
+
+            if views:
+                controlled: dict[str, bool] = {}
+                for bundle in VIEW_QUERIES:
+                    prepared = bundle.prepare(engine)
+                    try:
+                        prepared.plan(bundle.parameters)
+                        controlled[bundle.name] = True
+                    except NotControlledError:
+                        controlled[bundle.name] = False
+                register_workload_views(engine)
+                streams = {
+                    "Q4": [{"p": pid} for pid in pids],
+                    "Q5": [{"u": url} for url in urls],
+                }
+                for bundle in VIEW_QUERIES:
+                    prepared = bundle.prepare(engine)
+                    param_values = streams[bundle.name]
+                    for values in param_values:  # warm: materialization
+                        prepared.execute(values)
+                    rows_set: set = set()
+                    tuples_max = 0
+                    scans = 0
+                    bound = 0
+                    for values in param_values:
+                        result = prepared.execute(values)
+                        rows_set.update(result.rows)
+                        tuples_max = max(tuples_max, result.stats.tuples_accessed)
+                        scans += result.stats.full_scans
+                        bound = result.fanout_bound
+                    best = float("inf")
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        for values in param_values:
+                            prepared.execute(values)
+                        best = min(
+                            best, (time.perf_counter() - start) / len(param_values)
+                        )
+                    p50, p99 = _latency_percentiles(prepared.execute, param_values)
+                    view_records.append(
+                        ViewQueryRecord(
+                            query=bundle.name,
+                            size=size,
+                            mode="view_assisted",
+                            executions=len(param_values) * repeats,
+                            wall_time_s=best,
+                            p50_s=p50,
+                            p99_s=p99,
+                            rows=len(rows_set),
+                            tuples_accessed_max=tuples_max,
+                            fanout_bound=bound,
+                            full_scans=scans,
+                            controlled_without_views=controlled[bundle.name],
+                            backend=backend,
+                            rows_loaded=rows_loaded,
+                        )
+                    )
+
+            close = getattr(db.backend, "close", None)
+            if close is not None:
+                close()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    summary: dict[str, dict] = {}
+    for record in records:
+        if record.mode != "batched":
+            continue
+        entry = summary.setdefault(
+            record.query,
+            {"tuples_accessed_by_size": {}, "fanout_bound": record.fanout_bound},
+        )
+        entry["tuples_accessed_by_size"][str(record.size)] = (
+            record.tuples_accessed_max
+        )
+    for view_record in view_records:
+        entry = summary.setdefault(
+            view_record.query,
+            {
+                "tuples_accessed_by_size": {},
+                "fanout_bound": view_record.fanout_bound,
+            },
+        )
+        entry["tuples_accessed_by_size"][str(view_record.size)] = (
+            view_record.tuples_accessed_max
+        )
+    for entry in summary.values():
+        tuples = entry["tuples_accessed_by_size"]
+        entry["flat_across_sizes"] = len(set(tuples.values())) <= 1
+        entry["within_fanout_bound"] = all(
+            t <= entry["fanout_bound"] for t in tuples.values()
+        )
+
+    return {
+        "backend": backend,
+        "shards": shards if backend == "sharded" else None,
+        "sizes": list(sizes),
+        "block": block_size,
+        "seed": seed,
+        "repeats": repeats,
+        "params_per_size": params_per_size,
+        "records": [asdict(r) for r in records],
+        "view_records": [asdict(r) for r in view_records],
+        "load": load_stats,
+        "skipped": (
+            "base_naive evaluation and churn recompute: both are full-scan "
+            "work over millions of rows -- the infeasible baseline scale "
+            "independence exists to avoid"
+        ),
+        "zero_full_scans": all(r.full_scans == 0 for r in records)
+        and all(r.full_scans == 0 for r in view_records),
+        "summary": summary,
+    }
 
 
 def summarize(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench import DEFAULT_SIZES, run_bench
+from repro.bench import BACKENDS, DEFAULT_SIZES, LARGE_SIZES, run_bench, run_large_bench, write_bench
 
 
 def _sizes(text: str) -> tuple[int, ...]:
@@ -89,6 +89,37 @@ def main(argv: list[str] | None = None) -> int:
         help="mutations per view-maintenance churn batch",
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="memory",
+        help="storage backend every scenario's database runs on",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="child count for --backend sharded",
+    )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help="also run the out-of-core scale scenario (streamed bulk load, "
+        "Q1-Q5 at --large-sizes on --large-backend, recompute baselines "
+        "skipped as infeasible)",
+    )
+    parser.add_argument(
+        "--large-sizes",
+        type=_sizes,
+        default=LARGE_SIZES,
+        help="comma-separated sizes for the --large scenario",
+    )
+    parser.add_argument(
+        "--large-backend",
+        choices=BACKENDS,
+        default="sqlite",
+        help="storage backend for the --large scenario",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (default: BENCH_<version>.json in the cwd)",
@@ -115,10 +146,26 @@ def main(argv: list[str] | None = None) -> int:
         views=args.views,
         view_batches=args.view_batches,
         view_batch_size=args.view_size,
-        output=args.out,
+        backend=args.backend,
+        shards=args.shards,
+        output=False if args.large else args.out,
     )
+    if args.large:
+        doc["large"] = run_large_bench(
+            args.large_sizes,
+            backend=args.large_backend,
+            shards=args.shards,
+            seed=args.seed,
+            repeats=args.repeats,
+            params_per_size=args.params,
+            views=args.views,
+        )
+        write_bench(doc, args.out)
 
-    print(f"workload: {doc['workload']}  sizes: {doc['sizes']}  seed: {doc['seed']}")
+    print(
+        f"workload: {doc['workload']}  sizes: {doc['sizes']}  "
+        f"seed: {doc['seed']}  backend: {doc['backend']}"
+    )
     header = f"{'query':<6} {'size':>8} {'batched µs':>11} {'per-tuple µs':>13} {'speedup':>8} {'tuples':>7} {'bound':>7}"
     print(header)
     print("-" * len(header))
@@ -215,6 +262,47 @@ def main(argv: list[str] | None = None) -> int:
                 f"{record['refresh_tuples_max']:>7} "
                 f"{record['rows_final']:>7}"
             )
+    large = doc.get("large")
+    if large:
+        print(
+            f"\nlarge scale scenario: backend {large['backend']}  "
+            f"sizes {large['sizes']}  block {large['block']}"
+        )
+        for size in large["sizes"]:
+            stats = large["load"][str(size)]
+            print(
+                f"  loaded {stats['rows_loaded']} rows @ size {size} in "
+                f"{stats['load_wall_s']:.1f}s (max in-degree "
+                f"{stats['max_in_degree']})"
+            )
+        header = (
+            f"{'query':<6} {'size':>9} {'batched µs':>11} {'p99 µs':>9} "
+            f"{'tuples':>7} {'bound':>7} {'flat':>5}"
+        )
+        print(header)
+        print("-" * len(header))
+        large_by_key = {
+            (r["query"], r["size"]): r
+            for r in large["records"]
+            if r["mode"] == "batched"
+        }
+        large_by_key.update(
+            {(r["query"], r["size"]): r for r in large.get("view_records", [])}
+        )
+        for name in sorted(large["summary"]):
+            entry = large["summary"][name]
+            for size in large["sizes"]:
+                record = large_by_key[name, size]
+                print(
+                    f"{name:<6} {size:>9} "
+                    f"{record['wall_time_s'] * 1e6:>11.1f} "
+                    f"{record['p99_s'] * 1e6:>9.1f} "
+                    f"{record['tuples_accessed_max']:>7} "
+                    f"{record['fanout_bound']:>7} "
+                    f"{'yes' if entry['flat_across_sizes'] else 'NO':>5}"
+                )
+        print(f"  zero full scans: {large['zero_full_scans']}")
+        print(f"  skipped: {large['skipped']}")
     for size, cache in doc["plan_cache"].items():
         print(
             f"plan cache @ size {size}: {cache['hits']} hits / "

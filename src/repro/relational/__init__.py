@@ -1,12 +1,32 @@
-"""The relational substrate: schemas and database instances.
+"""The relational substrate: schemas, database instances, storage backends.
 
 :mod:`repro.relational.schema` declares relation and database schemas with
-arity/attribute validation; :mod:`repro.relational.instance` provides
-in-memory instances with per-relation hash indexes and tuple-access
-accounting, the measuring stick for scale independence.
+arity/attribute validation; :mod:`repro.relational.instance` provides the
+:class:`Database` facade -- validation, interning, tuple-access
+accounting (the measuring stick for scale independence) and the
+mutation :class:`~repro.relational.instance.ChangeLog` -- over a
+pluggable storage engine from :mod:`repro.relational.backends`
+(in-memory dict indexes by default, out-of-core SQLite, or a
+hash-sharded composite).
 """
 
-from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
+from repro.relational.backends import (
+    MemoryBackend,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+)
 from repro.relational.instance import AccessStats, Database
+from repro.relational.schema import DatabaseSchema, RelationSchema, parse_schema
 
-__all__ = ["RelationSchema", "DatabaseSchema", "parse_schema", "Database", "AccessStats"]
+__all__ = [
+    "RelationSchema",
+    "DatabaseSchema",
+    "parse_schema",
+    "Database",
+    "AccessStats",
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "ShardedBackend",
+]

@@ -1,0 +1,227 @@
+"""A hash-sharded composite storage backend.
+
+``ShardedBackend`` partitions every relation across ``N`` child backends
+by ``hash(shard_key) % N``, where the shard key is the row's projection
+onto configurable positions (default: position 0, the paper's
+point-lookup column).  A bulk call fans its batch's *distinct* keys out
+to the children owning them -- one sub-batch per child, so the
+one-round-trip-per-operator property survives composition -- and merges
+the results.
+
+Accounting stays exact and **global**: the composite charges each
+distinct key of a batch once, however many children it consulted, and
+tuples-accessed totals are exact because shards are disjoint (a row
+lives on exactly one child).  Each child keeps a private scratch
+:class:`~repro.relational.instance.AccessStats`, exposed via
+:meth:`shard_stats`, so tests can observe routing balance without the
+scratch counters leaking into the database's cumulative stats.
+
+Routing: a lookup whose positions include every shard-key position is
+**routed** -- each distinct key goes to exactly one child.  Otherwise it
+is **broadcast** to all children and the per-key groups concatenated;
+counting is normalized back to once-per-distinct-key, so the delta
+rule's dedup semantics are preserved either way.
+
+Caveats: scans and iteration concatenate children in shard order, so
+global insertion order is only preserved *within* a shard; and Python
+hashes of strings vary across processes (``PYTHONHASHSEED``), so a
+particular row's shard index is stable only within one process -- never
+persist shard assignments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.backends.base import Row, StorageBackend, check_positions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.instance import AccessStats
+    from repro.relational.schema import DatabaseSchema
+
+
+class ShardedBackend(StorageBackend):
+    """Hash-partitioned composite over ``shards`` child backends."""
+
+    returns_live_groups = False
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        factory: Callable[[], StorageBackend] | None = None,
+        key_positions: Mapping[str, tuple[int, ...]] | None = None,
+    ):
+        super().__init__()
+        if shards < 1:
+            raise SchemaError(f"shards must be >= 1, got {shards}")
+        if factory is None:
+            from repro.relational.backends.memory import MemoryBackend
+
+            factory = MemoryBackend
+        self.shards = shards
+        self._factory = factory
+        self._key_positions = dict(key_positions or {})
+        self._children: list[StorageBackend] = []
+        self._child_stats: list["AccessStats"] = []
+
+    def attach(self, schema: "DatabaseSchema", stats: "AccessStats") -> None:
+        super().attach(schema, stats)
+        from repro.relational.instance import AccessStats
+
+        for name, positions in self._key_positions.items():
+            rel = schema.relation(name)  # raises for unknown relations
+            check_positions(name, rel.arity, positions)
+        for name in schema.names:
+            self._key_positions.setdefault(name, (0,))
+        for _ in range(self.shards):
+            child = self._factory()
+            scratch = AccessStats()
+            child.attach(schema, scratch)
+            self._children.append(child)
+            self._child_stats.append(scratch)
+
+    def shard_stats(self) -> tuple["AccessStats", ...]:
+        """Each child's private scratch stats, in shard order -- routing
+        balance is visible here, not in the database's cumulative stats."""
+        return tuple(self._child_stats)
+
+    # -- routing ---------------------------------------------------------
+
+    def _shard_of(self, projected: Row) -> int:
+        return hash(projected) % self.shards
+
+    def _row_shard(self, relation: str, row: Row) -> int:
+        kp = self._key_positions[relation]
+        return hash(tuple(row[p] for p in kp)) % self.shards
+
+    # -- charged reads ---------------------------------------------------
+
+    def lookup_keys(
+        self,
+        relation: str,
+        positions: tuple[int, ...],
+        keys: Sequence[Row],
+        stats: "AccessStats | None" = None,
+    ) -> Sequence[Sequence[Row]]:
+        if not keys:
+            return ()
+        if not positions:
+            return self._scan_groups(relation, keys, stats)
+        rel = self.schema.relation(relation)
+        check_positions(relation, rel.arity, positions)
+        kp = self._key_positions[relation]
+        distinct = list(dict.fromkeys(keys))
+        merged: dict[Row, tuple[Row, ...]] = {}
+        if set(kp) <= set(positions):
+            # Routed: project each key onto the shard-key positions and
+            # send it to exactly the child that owns its rows.
+            idx = tuple(positions.index(p) for p in kp)
+            per_child: list[list[Row]] = [[] for _ in range(self.shards)]
+            for key in distinct:
+                per_child[self._shard_of(tuple(key[i] for i in idx))].append(key)
+            for child, sub in zip(self._children, per_child):
+                if not sub:
+                    continue
+                groups = child.lookup_keys(relation, positions, sub)
+                for key, group in zip(sub, groups):
+                    merged[key] = tuple(group)
+        else:
+            # Broadcast: every child may hold matches; shards are
+            # disjoint, so concatenation is exact and dedup-free.
+            partials: dict[Row, list[Row]] = {key: [] for key in distinct}
+            for child in self._children:
+                groups = child.lookup_keys(relation, positions, distinct)
+                for key, group in zip(distinct, groups):
+                    partials[key].extend(group)
+            merged = {key: tuple(group) for key, group in partials.items()}
+        tuples = sum(len(group) for group in merged.values())
+        self._charge(stats, tuples=tuples, lookups=len(distinct))
+        return [merged[key] for key in keys]
+
+    def contains_rows(
+        self,
+        relation: str,
+        rows: Sequence[Row],
+        stats: "AccessStats | None" = None,
+    ) -> tuple[bool, ...]:
+        self.schema.relation(relation)
+        distinct = list(dict.fromkeys(rows))
+        verdict: dict[Row, bool] = {}
+        per_child: list[list[Row]] = [[] for _ in range(self.shards)]
+        for row in distinct:
+            per_child[self._row_shard(relation, row)].append(row)
+        for child, sub in zip(self._children, per_child):
+            if not sub:
+                continue
+            for row, present in zip(sub, child.contains_rows(relation, sub)):
+                verdict[row] = present
+        tuples = sum(1 for present in verdict.values() if present)
+        self._charge(stats, tuples=tuples, lookups=len(distinct))
+        return tuple(verdict[row] for row in rows)
+
+    def scan(self, relation: str, stats: "AccessStats | None" = None) -> tuple[Row, ...]:
+        self.schema.relation(relation)
+        rows: list[Row] = []
+        for child in self._children:
+            rows.extend(child.iter_rows(relation))
+        self._charge(stats, tuples=len(rows), scans=1)
+        return tuple(rows)
+
+    # -- unaccounted primitives ------------------------------------------
+
+    def probe_rows(self, relation: str, rows: Sequence[Row]) -> list[bool]:
+        distinct = list(dict.fromkeys(rows))
+        verdict: dict[Row, bool] = {}
+        per_child: list[list[Row]] = [[] for _ in range(self.shards)]
+        for row in distinct:
+            per_child[self._row_shard(relation, row)].append(row)
+        for child, sub in zip(self._children, per_child):
+            if not sub:
+                continue
+            for row, present in zip(sub, child.probe_rows(relation, sub)):
+                verdict[row] = present
+        return [verdict[row] for row in rows]
+
+    def count(self, relation: str) -> int:
+        return sum(child.count(relation) for child in self._children)
+
+    def iter_rows(self, relation: str) -> Iterator[Row]:
+        for child in self._children:
+            yield from child.iter_rows(relation)
+
+    # -- mutations -------------------------------------------------------
+
+    def insert_rows(self, relation: str, rows: Sequence[Row]) -> list[bool]:
+        return self._scatter_mutation(relation, rows, "insert_rows")
+
+    def delete_rows(self, relation: str, rows: Sequence[Row]) -> list[bool]:
+        return self._scatter_mutation(relation, rows, "delete_rows")
+
+    def _scatter_mutation(
+        self, relation: str, rows: Sequence[Row], method: str
+    ) -> list[bool]:
+        """Partition the batch by shard, apply per child, and gather the
+        flags back into input order.  Duplicate rows hash to the same
+        shard in their original relative order, so within-batch
+        effectiveness (first occurrence wins) is preserved."""
+        per_child: list[list[Row]] = [[] for _ in range(self.shards)]
+        origins: list[list[int]] = [[] for _ in range(self.shards)]
+        for i, row in enumerate(rows):
+            shard = self._row_shard(relation, row)
+            per_child[shard].append(row)
+            origins[shard].append(i)
+        flags = [False] * len(rows)
+        for child, sub, where in zip(self._children, per_child, origins):
+            if not sub:
+                continue
+            for i, flag in zip(where, getattr(child, method)(relation, sub)):
+                flags[i] = flag
+        return flags
+
+    def __repr__(self) -> str:
+        return f"ShardedBackend(shards={self.shards})"
+
+
+__all__ = ["ShardedBackend"]

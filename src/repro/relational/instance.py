@@ -1,18 +1,28 @@
-"""In-memory database instances with hash indexes and access accounting.
+"""Database instances: a logging, validating facade over a storage backend.
 
-A :class:`Database` stores each relation as an ordered set of tuples and
-builds per-relation hash indexes lazily, one per set of lookup positions.
+A :class:`Database` owns the schema, the access accounting and the
+mutation log; the tuples themselves live in a pluggable
+:class:`~repro.relational.backends.base.StorageBackend` chosen at
+construction (``Database(schema, backend=...)``) -- the in-memory
+dict-index :class:`~repro.relational.backends.memory.MemoryBackend` by
+default, an out-of-core
+:class:`~repro.relational.backends.sqlite.SqliteBackend`, or a
+hash-sharded :class:`~repro.relational.backends.sharded.ShardedBackend`
+composite.  The backend's bulk methods (``lookup_keys``,
+``contains_rows``, ``scan``) are bound directly onto the instance, so
+the executor's compiled closures dispatch straight into the backend with
+no facade frame in between -- swapping backends never recompiles a plan.
+
 Every read goes through :meth:`Database.lookup`, :meth:`Database.scan`,
-:meth:`Database.contains` or their bulk forms :meth:`Database.lookup_many`
-and :meth:`Database.contains_many`, and is recorded in
+:meth:`Database.contains` or their bulk forms and is recorded in
 :class:`AccessStats` -- this accounting is the empirical measuring stick
 for scale independence: a plan is scale independent precisely when the
 number of tuples it accesses is bounded regardless of the database size.
 
 The bulk forms exist for the batch-at-a-time executor
 (:mod:`repro.core.executor`): one call serves a whole batch of patterns,
-resolving each *distinct* key against the hash index (and accounting it)
-exactly once, however many patterns in the batch share it.
+resolving each *distinct* key (and accounting it) exactly once, however
+many patterns in the batch share it.
 
 Accounting is two-level.  :attr:`Database.stats` is the cumulative,
 engine-wide view: every read charges it, forever.  Each read method also
@@ -26,14 +36,17 @@ increments; under heavy cross-thread traffic they are approximate.)
 
 Mutations go through :meth:`Database.insert_many` and
 :meth:`Database.delete_many` (with :meth:`add` / :meth:`delete` as
-single-tuple conveniences).  Both maintain every lazily built
-per-position hash index in place and append each *effective* change (an
+single-tuple conveniences).  The facade validates and interns every row,
+hands the batch to the backend, and appends each *effective* change (an
 insert of a genuinely new tuple, a delete of a genuinely present one) to
 the database's monotonic :class:`ChangeLog` -- the substrate of
 incremental scale independence (:mod:`repro.incremental`, Section 5 of
 the paper): a refresh replays only the log suffix past its watermark.
-Mutations are single-writer: interleaving them with concurrent
-executions is undefined.
+:meth:`Database.bulk_load` is the one escape hatch: an *unlogged*
+streaming load for populating an empty database at out-of-core scale,
+permitted only while the change log is empty so no watermark can be
+bypassed.  Mutations are single-writer: interleaving them with
+concurrent executions is undefined.
 """
 
 from __future__ import annotations
@@ -42,8 +55,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import SchemaError, UpdateError
+from repro.errors import UpdateError
 from repro.logic.terms import Constant
+from repro.relational.backends.base import StorageBackend
+from repro.relational.backends.memory import MemoryBackend
 from repro.relational.interning import intern_row
 from repro.relational.schema import DatabaseSchema
 
@@ -53,6 +68,9 @@ Row = tuple[object, ...]
 #: inserted since the watermark, ``-1`` for one deleted since it (tuples
 #: whose changes cancel out are dropped).
 NetDelta = dict[str, dict[Row, int]]
+
+#: Rows per backend call on the :meth:`Database.bulk_load` streaming path.
+_LOAD_CHUNK = 50_000
 
 
 @dataclass(slots=True)
@@ -210,29 +228,54 @@ def _plain(value: object) -> object:
 class Database:
     """A database instance over a :class:`DatabaseSchema`.
 
-    Tuples are stored with set semantics but preserve insertion order.
-    Values must be hashable.  Hash indexes are created lazily per
-    ``(relation, positions)`` pair and maintained incrementally on insert
-    and delete; every mutation is recorded in :attr:`change_log`.
+    Tuples are stored with set semantics but preserve insertion order
+    (within a shard, for sharded backends).  Values must be hashable.
+    Storage and index maintenance live in the backend; the facade
+    validates rows, unwraps :class:`Constant`, interns strings, accounts
+    accesses and records every effective mutation in :attr:`change_log`.
+
+    The backend's charged bulk reads are bound straight onto the
+    instance, so ``db.lookup_keys`` / ``db.contains_rows`` / ``db.scan``
+    *are* the backend's methods -- the executor's hot path pays no
+    facade indirection.
     """
 
-    __slots__ = ("schema", "stats", "change_log", "_rows", "_indexes")
+    __slots__ = (
+        "schema",
+        "stats",
+        "change_log",
+        "_backend",
+        # Backend methods bound per instance -- see the class docstring.
+        "lookup_keys",
+        "contains_rows",
+        "scan",
+    )
 
     def __init__(
         self,
         schema: DatabaseSchema,
         data: Mapping[str, Iterable[Sequence[object]]] | None = None,
+        *,
+        backend: StorageBackend | None = None,
     ):
         self.schema = schema
         self.stats = AccessStats()
         self.change_log = ChangeLog()
-        self._rows: dict[str, dict[Row, None]] = {name: {} for name in schema.names}
-        self._indexes: dict[str, dict[tuple[int, ...], dict[Row, list[Row]]]] = {
-            name: {} for name in schema.names
-        }
+        if backend is None:
+            backend = MemoryBackend()
+        backend.attach(schema, self.stats)
+        self._backend = backend
+        self.lookup_keys = backend.lookup_keys
+        self.contains_rows = backend.contains_rows
+        self.scan = backend.scan
         if data:
             for name, rows in data.items():
                 self.insert_many(name, rows)
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend this database was constructed over."""
+        return self._backend
 
     # -- updates ---------------------------------------------------------
 
@@ -250,72 +293,128 @@ class Database:
     def insert_many(
         self, relation: str, rows: Iterable[Sequence[object]], *, strict: bool = False
     ) -> int:
-        """Insert ``rows`` into ``relation``, maintaining every lazily
-        built index in place and logging each effective insert.
+        """Insert ``rows`` into ``relation``, logging each effective insert.
 
         Already-present tuples are skipped (set semantics) -- unless
         ``strict``, in which case they raise :class:`UpdateError`, the
         paper's Section 5 well-formedness condition that insertions be
         disjoint from the database.  Returns the number of tuples
         actually inserted.
+
+        Row-at-a-time semantics are preserved across the batched backend
+        call: if validation or a strict check fails at row *k*, rows
+        ``0..k-1`` have been applied and logged.
         """
-        rel = self.schema.relation(relation)
-        store = self._rows[relation]
-        indexes = self._indexes[relation]
-        applied = 0
-        for row in rows:
-            row = intern_row(rel.validate_tuple(tuple(_plain(v) for v in row)))
-            if row in store:
-                if strict:
+        prepared = self._prepare("+", relation, rows)
+        if strict:
+            absent = self._backend.probe_rows(relation, prepared)
+            fresh: set[Row] = set()
+            for i, (row, present) in enumerate(zip(prepared, absent)):
+                if present or row in fresh:
+                    self._apply("+", relation, prepared[:i])
                     raise UpdateError(
                         f"insert of {row!r} into {relation!r}: tuple is "
                         f"already present"
                     )
-                continue
-            store[row] = None
-            for positions, index in indexes.items():
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, []).append(row)
-            self.change_log.append("+", relation, row)
-            applied += 1
-        return applied
+                fresh.add(row)
+        return self._apply("+", relation, prepared)
 
     def delete_many(
         self, relation: str, rows: Iterable[Sequence[object]], *, strict: bool = False
     ) -> int:
-        """Delete ``rows`` from ``relation``, maintaining every lazily
-        built index in place and logging each effective delete.
+        """Delete ``rows`` from ``relation``, logging each effective delete.
 
         Absent tuples are skipped -- unless ``strict``, in which case they
         raise :class:`UpdateError`, the Section 5 well-formedness
         condition that deletions be contained in the database.  Returns
-        the number of tuples actually deleted.
+        the number of tuples actually deleted.  Row-at-a-time semantics
+        are preserved exactly as in :meth:`insert_many`.
         """
-        rel = self.schema.relation(relation)
-        store = self._rows[relation]
-        indexes = self._indexes[relation]
-        applied = 0
-        for row in rows:
-            row = intern_row(rel.validate_tuple(tuple(_plain(v) for v in row)))
-            if row not in store:
-                if strict:
+        prepared = self._prepare("-", relation, rows)
+        if strict:
+            present_before = self._backend.probe_rows(relation, prepared)
+            gone: set[Row] = set()
+            for i, (row, present) in enumerate(zip(prepared, present_before)):
+                if not present or row in gone:
+                    self._apply("-", relation, prepared[:i])
                     raise UpdateError(
                         f"delete of {row!r} from {relation!r}: tuple is "
                         f"not present"
                     )
-                continue
-            del store[row]
-            for positions, index in indexes.items():
-                key = tuple(row[p] for p in positions)
-                group = index[key]
-                group.remove(row)
-                if not group:
-                    del index[key]
-            self.change_log.append("-", relation, row)
-            applied += 1
+                gone.add(row)
+        return self._apply("-", relation, prepared)
+
+    def bulk_load(self, relation: str, rows: Iterable[Sequence[object]]) -> int:
+        """Stream ``rows`` into ``relation`` *without* logging -- the
+        out-of-core population fast path.
+
+        Rows are validated and interned like any insert, but applied in
+        backend chunks and never recorded in :attr:`change_log`, so a
+        million-row load does not pin a million tuples in the Python
+        heap.  Only permitted while the change log is empty: once any
+        logged mutation exists, an unlogged load would slip past
+        outstanding incremental watermarks, so it raises
+        :class:`UpdateError`.  Returns the number of tuples actually
+        inserted (set semantics).
+        """
+        rel = self.schema.relation(relation)
+        if len(self.change_log):
+            raise UpdateError(
+                f"bulk_load into {relation!r}: the change log is not empty; "
+                f"unlogged loads are only sound on a pristine database -- "
+                f"use insert_many for logged mutations"
+            )
+        backend = self._backend
+        validate = rel.validate_tuple
+        applied = 0
+        chunk: list[Row] = []
+        for row in rows:
+            chunk.append(intern_row(validate(tuple(map(_plain, row)))))
+            if len(chunk) >= _LOAD_CHUNK:
+                applied += backend.load_rows(relation, chunk)
+                chunk = []
+        if chunk:
+            applied += backend.load_rows(relation, chunk)
+        return applied
+
+    def _prepare(self, op: str, relation: str, rows: Iterable[Sequence[object]]) -> list[Row]:
+        """Validate, unwrap and intern a mutation batch.  If a row fails
+        validation, the valid prefix is applied and logged before the
+        error propagates -- the historical row-at-a-time behaviour."""
+        rel = self.schema.relation(relation)
+        validate = rel.validate_tuple
+        prepared: list[Row] = []
+        try:
+            for row in rows:
+                prepared.append(intern_row(validate(tuple(map(_plain, row)))))
+        except BaseException:
+            self._apply(op, relation, prepared)
+            raise
+        return prepared
+
+    def _apply(self, op: str, relation: str, prepared: Sequence[Row]) -> int:
+        """Apply a prepared batch through the backend and log each
+        effective change, preserving input order."""
+        if not prepared:
+            return 0
+        if op == "+":
+            flags = self._backend.insert_rows(relation, prepared)
+        else:
+            flags = self._backend.delete_rows(relation, prepared)
+        append = self.change_log.append
+        applied = 0
+        for row, flag in zip(prepared, flags):
+            if flag:
+                append(op, relation, row)
+                applied += 1
         return applied
 
     # -- reads (accounted) -----------------------------------------------
+    #
+    # ``lookup_keys``, ``contains_rows`` and ``scan`` are the backend's
+    # own bound methods (see __init__); the signatures and accounting
+    # contract are documented on StorageBackend.  The dict-shaped
+    # conveniences below normalize into those three.
 
     def lookup(
         self,
@@ -327,20 +426,16 @@ class Database:
         0-based positions to required values).
 
         An empty pattern degenerates to a full scan; otherwise the lookup
-        goes through a hash index on the pattern's positions.  Accessed
-        tuples are counted in :attr:`stats` (and in ``stats``, when
-        given -- the per-execution accounting hook).
+        goes through the backend's index on the pattern's positions.
+        Accessed tuples are counted in :attr:`stats` (and in ``stats``,
+        when given -- the per-execution accounting hook).
         """
         if not pattern:
             return self.scan(relation, stats)
-        rel = self.schema.relation(relation)
         positions = tuple(sorted(pattern))
-        self._check_positions(relation, rel.arity, positions)
-        index = self._index_for(relation, positions)
         key = tuple(_plain(pattern[p]) for p in positions)
-        rows = index.get(key, ())
-        self._charge(stats, tuples=len(rows), lookups=1)
-        return tuple(rows)
+        groups = self.lookup_keys(relation, positions, (key,), stats)
+        return tuple(groups[0])
 
     def lookup_many(
         self,
@@ -352,7 +447,7 @@ class Database:
         ``patterns``.
 
         Each *distinct* ``(positions, key)`` pair is resolved against the
-        hash index -- and counted in :attr:`stats` -- exactly once, however
+        backend -- and counted in :attr:`stats` -- exactly once, however
         many patterns in the batch share it; this is what makes
         batch-at-a-time execution touch strictly fewer tuples than one
         :meth:`lookup` per pattern.  An empty pattern degenerates to one
@@ -361,161 +456,44 @@ class Database:
         patterns = list(patterns)
         if not patterns:
             return ()
-        rel = self.schema.relation(relation)
-        tuples = 0
-        lookups = 0
-        groups: list[tuple[Row, ...]] = []
-        fetched: dict[tuple[tuple[int, ...], Row], tuple[Row, ...]] = {}
-        scanned: tuple[Row, ...] | None = None
-        # Patterns in one batch almost always share their position set
-        # (the executor's lookup keys are static per operator), so the
-        # index is re-resolved only when the positions actually change.
+        self.schema.relation(relation)
+        # Shape every pattern into (sorted positions, plain key), batching
+        # the distinct keys per position set so each set costs the backend
+        # one bulk call.  Patterns in one batch almost always share their
+        # position set (the executor's lookup keys are static per
+        # operator), so the sort is re-run only when positions change.
+        shaped: list[tuple[tuple[int, ...], Row] | None] = []
+        by_positions: dict[tuple[int, ...], dict[Row, None]] = {}
         last_keys = None
         positions: tuple[int, ...] = ()
-        index: dict[Row, list[Row]] = {}
         for pattern in patterns:
             if not pattern:
-                if scanned is None:
-                    scanned = self.scan(relation, stats)
-                groups.append(scanned)
+                shaped.append(None)
                 continue
             keys = pattern.keys()
             if keys != last_keys:
                 positions = tuple(sorted(keys))
-                self._check_positions(relation, rel.arity, positions)
-                index = self._index_for(relation, positions)
                 last_keys = keys
             key = tuple([_plain(pattern[p]) for p in positions])
-            rows = fetched.get((positions, key))
-            if rows is None:
-                rows = tuple(index.get(key, ()))
-                lookups += 1
-                tuples += len(rows)
-                fetched[positions, key] = rows
-            groups.append(rows)
-        self._charge(stats, tuples=tuples, lookups=lookups)
+            shaped.append((positions, key))
+            by_positions.setdefault(positions, {})[key] = None
+        fetched: dict[tuple[tuple[int, ...], Row], tuple[Row, ...]] = {}
+        for pos, keyset in by_positions.items():
+            distinct = list(keyset)
+            for key, group in zip(
+                distinct, self.lookup_keys(relation, pos, distinct, stats)
+            ):
+                fetched[pos, key] = tuple(group)
+        scanned: tuple[Row, ...] | None = None
+        groups: list[tuple[Row, ...]] = []
+        for shape in shaped:
+            if shape is None:
+                if scanned is None:
+                    scanned = self.scan(relation, stats)
+                groups.append(scanned)
+            else:
+                groups.append(fetched[shape])
         return tuple(groups)
-
-    def lookup_keys(
-        self,
-        relation: str,
-        positions: tuple[int, ...],
-        keys: Sequence[Row],
-        stats: AccessStats | None = None,
-    ) -> Sequence[Sequence[Row]]:
-        """Bulk :meth:`lookup` in the columnar executor's native shape:
-        every key constrains the same ``positions`` (sorted ascending, the
-        form the per-position indexes are keyed on), so the index is
-        resolved once for the whole batch.  One result group per key,
-        aligned with ``keys``; key values must already be plain (the
-        executor interns/unwraps them at lowering and seed time).
-
-        The accounting contract is exactly :meth:`lookup_many`'s: each
-        *distinct* key is fetched and counted once, however often it
-        recurs; an empty ``positions`` degenerates to one shared,
-        counted-once full scan replicated per key.
-
-        Unlike the dict-shaped lookups, the returned groups may be the
-        *live* index buckets -- no per-group defensive copy on the hot
-        path.  Callers must treat them as read-only and consume them
-        before mutating the database (the executor does both).
-        """
-        if not keys:
-            return ()
-        if not positions:
-            return [self.scan(relation, stats)] * len(keys)
-        # The executor calls this once per operator per execution: resolve
-        # the index with one dict probe when it already exists (inserts
-        # and deletes maintain built indexes in place, so an existing
-        # index object is always current) and fall back to the validated
-        # build path only on first sight of (relation, positions).
-        try:
-            index = self._indexes[relation].get(positions)
-        except KeyError:
-            self.schema.relation(relation)  # raises the proper SchemaError
-            raise
-        if index is None:
-            rel = self.schema.relation(relation)
-            self._check_positions(relation, rel.arity, positions)
-            index = self._index_for(relation, positions)
-        if len(keys) == 1:
-            rows = index.get(keys[0], ())
-            cum = self.stats
-            cum.tuples_accessed += len(rows)
-            cum.indexed_lookups += 1
-            if stats is not None:
-                stats.tuples_accessed += len(rows)
-                stats.indexed_lookups += 1
-            return [rows]
-        tuples = 0
-        lookups = 0
-        fetched: dict[Row, Sequence[Row]] = {}
-        groups: list[Sequence[Row]] = []
-        get_cached = fetched.get
-        get_indexed = index.get
-        for key in keys:
-            rows = get_cached(key)
-            if rows is None:
-                rows = get_indexed(key, ())
-                lookups += 1
-                tuples += len(rows)
-                fetched[key] = rows
-            groups.append(rows)
-        cum = self.stats
-        cum.tuples_accessed += tuples
-        cum.indexed_lookups += lookups
-        if stats is not None:
-            stats.tuples_accessed += tuples
-            stats.indexed_lookups += lookups
-        return groups
-
-    def contains_rows(
-        self,
-        relation: str,
-        rows: Sequence[Row],
-        stats: AccessStats | None = None,
-    ) -> tuple[bool, ...]:
-        """Bulk :meth:`contains` for pre-shaped row tuples (the columnar
-        probe builds them straight from batch columns, so values are
-        already plain).  Each *distinct* row is probed -- and accounted --
-        once, exactly like :meth:`contains_many`."""
-        try:
-            store = self._rows[relation]
-        except KeyError:
-            self.schema.relation(relation)  # raises the proper SchemaError
-            raise
-        if len(rows) == 1:
-            present = rows[0] in store
-            cum = self.stats
-            cum.tuples_accessed += 1 if present else 0
-            cum.indexed_lookups += 1
-            if stats is not None:
-                stats.tuples_accessed += 1 if present else 0
-                stats.indexed_lookups += 1
-            return (present,)
-        tuples = 0
-        lookups = 0
-        verdicts: list[bool] = []
-        probed: dict[Row, bool] = {}
-        get_cached = probed.get
-        for row in rows:
-            present = get_cached(row)
-            if present is None:
-                lookups += 1
-                present = row in store
-                if present:
-                    tuples += 1
-                probed[row] = present
-            verdicts.append(present)
-        self._charge(stats, tuples=tuples, lookups=lookups)
-        return tuple(verdicts)
-
-    def scan(self, relation: str, stats: AccessStats | None = None) -> tuple[Row, ...]:
-        """All tuples of ``relation`` -- a full scan, counted as such."""
-        self.schema.relation(relation)
-        rows = tuple(self._rows[relation])
-        self._charge(stats, tuples=len(rows), scans=1)
-        return rows
 
     def contains(
         self,
@@ -523,13 +501,11 @@ class Database:
         row: Sequence[object],
         stats: AccessStats | None = None,
     ) -> bool:
-        """Membership probe via the all-positions hash index (accesses at
+        """Membership probe via the backend's full-row index (accesses at
         most one tuple)."""
         rel = self.schema.relation(relation)
         row = rel.validate_tuple(tuple(_plain(v) for v in row))
-        present = row in self._rows[relation]
-        self._charge(stats, tuples=1 if present else 0, lookups=1)
-        return present
+        return self.contains_rows(relation, (row,), stats)[0]
 
     def contains_many(
         self,
@@ -541,38 +517,29 @@ class Database:
         ``rows``.  Each *distinct* row is probed (and accounted) once,
         however often it recurs in the batch."""
         rel = self.schema.relation(relation)
-        store = self._rows[relation]
-        tuples = 0
-        lookups = 0
-        verdicts: list[bool] = []
-        probed: dict[Row, bool] = {}
-        for row in rows:
-            row = rel.validate_tuple(tuple(_plain(v) for v in row))
-            present = probed.get(row)
-            if present is None:
-                lookups += 1
-                present = row in store
-                if present:
-                    tuples += 1
-                probed[row] = present
-            verdicts.append(present)
-        self._charge(stats, tuples=tuples, lookups=lookups)
-        return tuple(verdicts)
+        validate = rel.validate_tuple
+        shaped = [validate(tuple(map(_plain, row))) for row in rows]
+        if not shaped:
+            return ()
+        return self.contains_rows(relation, shaped, stats)
 
     # -- unaccounted metadata --------------------------------------------
 
     def size(self, relation: str | None = None) -> int:
         """The number of tuples in ``relation``, or in the whole database."""
         if relation is None:
-            return sum(len(rows) for rows in self._rows.values())
+            return sum(self._backend.count(name) for name in self.schema.names)
         self.schema.relation(relation)
-        return len(self._rows[relation])
+        return self._backend.count(relation)
 
     def active_domain(self) -> tuple[object, ...]:
         """Every value occurring in the database, in first-occurrence order."""
         return tuple(
             dict.fromkeys(
-                value for rows in self._rows.values() for row in rows for value in row
+                value
+                for name in self.schema.names
+                for row in self._backend.iter_rows(name)
+                for value in row
             )
         )
 
@@ -580,42 +547,7 @@ class Database:
         self.stats.reset()
 
     def __repr__(self) -> str:
-        sizes = ", ".join(f"{name}: {len(rows)}" for name, rows in self._rows.items())
+        sizes = ", ".join(
+            f"{name}: {self._backend.count(name)}" for name in self.schema.names
+        )
         return f"Database({{{sizes}}})"
-
-    # -- internals -------------------------------------------------------
-
-    def _charge(
-        self,
-        extra: AccessStats | None,
-        *,
-        tuples: int = 0,
-        lookups: int = 0,
-        scans: int = 0,
-    ) -> None:
-        """Record one read's counters in the cumulative stats and, when
-        given, the caller's per-execution stats."""
-        for stats in (self.stats,) if extra is None else (self.stats, extra):
-            stats.tuples_accessed += tuples
-            stats.indexed_lookups += lookups
-            stats.full_scans += scans
-
-    @staticmethod
-    def _check_positions(relation: str, arity: int, positions: tuple[int, ...]) -> None:
-        for p in positions:
-            if not 0 <= p < arity:
-                raise SchemaError(
-                    f"position {p} out of range for relation {relation!r} "
-                    f"of arity {arity}"
-                )
-
-    def _index_for(
-        self, relation: str, positions: tuple[int, ...]
-    ) -> dict[Row, list[Row]]:
-        index = self._indexes[relation].get(positions)
-        if index is None:
-            index = {}
-            for row in self._rows[relation]:
-                index.setdefault(tuple(row[p] for p in positions), []).append(row)
-            self._indexes[relation][positions] = index
-        return index

@@ -20,6 +20,7 @@ database grows -- and, under churn, that refreshing beats recomputing.
 from repro.workloads.churn import CHURN_RELATIONS, ChurnBatch, generate_churn
 from repro.workloads.social import (
     CITIES,
+    DEFAULT_BLOCK,
     DEFAULT_MAX_FRIENDS,
     DEFAULT_MAX_VISITS,
     DEFAULT_VIEW_BOUND,
@@ -42,6 +43,7 @@ from repro.workloads.social import (
     sample_urls,
     social_access_text,
     social_engine,
+    stream_social_network,
     workload_views,
 )
 
@@ -62,6 +64,8 @@ __all__ = [
     "DEFAULT_VIEW_BOUND",
     "social_access_text",
     "generate_social_network",
+    "stream_social_network",
+    "DEFAULT_BLOCK",
     "social_engine",
     "sample_pids",
     "sample_urls",

@@ -13,8 +13,36 @@ from repro import (
     AccessSchema,
     Database,
     DatabaseSchema,
+    MemoryBackend,
     RelationSchema,
+    ShardedBackend,
+    SqliteBackend,
 )
+
+# The storage-backend axis for conformance testing: every parametrized
+# test runs on the in-memory hash-index store, the out-of-core SQLite
+# store (kept in-memory here -- same code path, no tmp files), and the
+# hash-sharded composite with a child count that forces real partitioning.
+BACKEND_KINDS = ("memory", "sqlite", "sharded")
+
+
+def make_backend(kind: str):
+    """A fresh, unattached backend of the requested kind."""
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend()
+    if kind == "sharded":
+        return ShardedBackend(3)
+    raise ValueError(f"unknown backend kind {kind!r}")
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend_factory(request):
+    """A zero-argument factory of fresh backends; parametrizes the test
+    over all three storage implementations."""
+    kind = request.param
+    return lambda: make_backend(kind)
 
 
 @pytest.fixture(autouse=True)

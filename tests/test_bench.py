@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.bench import BENCH_VERSION, default_output_path, run_bench, summarize
+from repro.bench import (
+    BENCH_VERSION,
+    default_output_path,
+    run_bench,
+    run_large_bench,
+    summarize,
+)
 
 
 @pytest.fixture(scope="module")
@@ -23,6 +29,10 @@ def test_writes_json_document(bench_doc):
     assert on_disk["bench_version"] == BENCH_VERSION
     assert on_disk["sizes"] == [20, 80]
     assert on_disk["records"] == doc["records"]
+    assert on_disk["backend"] == "memory"
+    for record in on_disk["records"]:
+        assert record["backend"] == "memory"
+        assert record["rows_loaded"] > 0
 
 
 def test_records_cover_all_queries_sizes_and_modes(bench_doc):
@@ -144,6 +154,96 @@ def test_churn_can_be_disabled():
     )
     assert doc["churn"]["records"] == []
     assert "refresh_speedup_at_largest" not in doc["summary"]["Q1"]
+
+
+# -- the storage-backend axis and the out-of-core scale scenario ----------
+
+
+def test_run_bench_on_alternate_backends():
+    for backend in ("sqlite", "sharded"):
+        doc = run_bench(
+            sizes=(20,),
+            repeats=1,
+            params_per_size=2,
+            churn_batches=1,
+            view_batches=1,
+            backend=backend,
+            shards=3,
+            output=False,
+        )
+        assert doc["backend"] == backend
+        assert doc["shards"] == (3 if backend == "sharded" else None)
+        for record in doc["records"]:
+            assert record["backend"] == backend
+            assert record["rows_loaded"] > 0
+            assert record["tuples_accessed_max"] <= record["fanout_bound"]
+            assert record["full_scans"] == 0
+
+
+def test_run_bench_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend"):
+        run_bench(sizes=(20,), backend="papyrus", output=False)
+
+
+def test_run_large_bench_is_flat_by_construction(tmp_path):
+    doc = run_large_bench(
+        sizes=(50, 200),
+        block=50,
+        repeats=1,
+        params_per_size=3,
+        sqlite_dir=tmp_path,
+    )
+    assert doc["backend"] == "sqlite"
+    assert doc["zero_full_scans"] is True
+    assert doc["load"]["50"]["rows_loaded"] < doc["load"]["200"]["rows_loaded"]
+    assert set(doc["summary"]) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+    for name, entry in doc["summary"].items():
+        # Parameters come from block 0, identical at both sizes, so the
+        # tuple counts are equal -- not merely bounded.
+        assert entry["flat_across_sizes"] is True, name
+        assert entry["within_fanout_bound"] is True, name
+    assert "skipped" in doc  # the infeasible baselines are declared, not run
+    # Caller-owned sqlite_dir: the stores are left on disk.
+    assert any(p.suffix == ".sqlite3" for p in tmp_path.iterdir())
+
+
+def test_cli_runs_large_scenario(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_large.json"
+    assert (
+        main(
+            [
+                "--sizes",
+                "15",
+                "--repeats",
+                "1",
+                "--params",
+                "2",
+                "--churn-batches",
+                "1",
+                "--view-batches",
+                "1",
+                "--backend",
+                "sharded",
+                "--shards",
+                "2",
+                "--large",
+                "--large-sizes",
+                "40,120",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(out.read_text())
+    assert doc["backend"] == "sharded"
+    assert doc["large"]["backend"] == "sqlite"
+    assert doc["large"]["zero_full_scans"] is True
+    printed = capsys.readouterr().out
+    assert "large scale scenario" in printed
+    assert "zero full scans: True" in printed
 
 
 # -- the view scenario (Section 6) ----------------------------------------

@@ -5,6 +5,11 @@ through three executors -- the batched pipeline, the per-tuple reference
 path, and naive active-domain join evaluation -- and must produce the
 identical answer set for every parameter value.  Separately, every
 controlled execution must stay within the plan's a-priori fanout bound.
+
+Both differential tests are additionally parametrized over every storage
+backend (via the ``backend_factory`` fixture): the executor is
+backend-agnostic, so the answer sets and the bound compliance must be
+identical whether the tuples live in dict indexes, SQLite, or shards.
 """
 
 import pytest
@@ -16,14 +21,18 @@ from repro.workloads import RUNNING_QUERIES, generate_social_network, social_eng
 SIZES_AND_SEEDS = [(20, 0), (20, 7), (60, 1), (120, 3)]
 
 
-def _engines():
+def _engines(backend_factory):
     for persons, seed in SIZES_AND_SEEDS:
-        yield persons, seed, social_engine(persons, seed=seed)
+        yield persons, seed, social_engine(
+            persons, seed=seed, backend=backend_factory()
+        )
 
 
 @pytest.mark.parametrize("bundle", RUNNING_QUERIES, ids=lambda b: b.name)
-def test_pipeline_matches_naive_evaluation_on_all_parameters(bundle):
-    for persons, seed, engine in _engines():
+def test_pipeline_matches_naive_evaluation_on_all_parameters(
+    bundle, backend_factory
+):
+    for persons, seed, engine in _engines(backend_factory):
         prepared = bundle.prepare(engine)
         plan = prepared.plan(bundle.parameters)
         db = engine.require_database()
@@ -40,8 +49,10 @@ def test_pipeline_matches_naive_evaluation_on_all_parameters(bundle):
 
 
 @pytest.mark.parametrize("bundle", RUNNING_QUERIES, ids=lambda b: b.name)
-def test_every_controlled_execution_stays_within_fanout_bound(bundle):
-    for persons, seed, engine in _engines():
+def test_every_controlled_execution_stays_within_fanout_bound(
+    bundle, backend_factory
+):
+    for persons, seed, engine in _engines(backend_factory):
         prepared = bundle.prepare(engine)
         db = engine.require_database()
         param = bundle.parameters[0]

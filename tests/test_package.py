@@ -41,6 +41,11 @@ EXPECTED_EXPORTS = {
     "AccessStats",
     "ChangeEntry",
     "ChangeLog",
+    # storage backends
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "ShardedBackend",
     # access schemas
     "AccessRule",
     "EmbeddedAccessRule",
@@ -141,6 +146,11 @@ def test_subpackages_import():
         "repro.logic.homomorphism",
         "repro.logic.parser",
         "repro.relational",
+        "repro.relational.backends",
+        "repro.relational.backends.base",
+        "repro.relational.backends.memory",
+        "repro.relational.backends.sqlite",
+        "repro.relational.backends.sharded",
         "repro.core",
         "repro.core.executor",
         "repro.api",
@@ -191,6 +201,7 @@ def test_subpackage_alls_resolve():
     for mod_name in (
         "repro.logic",
         "repro.relational",
+        "repro.relational.backends",
         "repro.core",
         "repro.api",
         "repro.views",
