@@ -21,6 +21,24 @@ family per analyzable object:
 * :func:`analyze_views` / :func:`advise_covering_view`
   (VIW001-VIW003) -- unmatched and overlapping views, and concrete
   covering-view proposals for uncontrolled queries;
+* :func:`advise_views` / ``engine.views.advise(queries)``
+  (VIW004-VIW005, :mod:`repro.analysis.advisor`) -- the multi-atom view
+  advisor: MiniCon-style bucket search over connected body subsets,
+  stats-derived bounds, and adopted-vs-base pricing through the cost
+  model;
+* :func:`estimate_plan` / :func:`certify_selection` (CST001-CST003,
+  :mod:`repro.analysis.cost`) -- the static cost model behind the
+  engine's cost-based plan selection, optionally refined by observed
+  ``CostStats``, with a must-never-fire self-check that the chosen plan
+  is no costlier than any rejected candidate (CST002, in the certifier,
+  catches plans whose ``cost_estimate`` annotation disagrees with an
+  independent re-derivation);
+* :func:`classify_incremental` (INC001-INC002,
+  :mod:`repro.analysis.maintain`) -- static
+  incremental-maintainability classification: which plans the Section 5
+  delta pipeline can refresh, with causal traces for embedded-rule
+  fetches, decided at prepare/register time instead of failing at
+  ``execute_incremental`` time;
 * :func:`certify_plan` / :func:`check_plan` (CRT001-CRT007,
   :mod:`repro.analysis.certify`) -- translation validation: re-derive a
   compiled plan's binding coverage, rule membership, head projection and
@@ -50,7 +68,21 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable
 
 from repro.analysis.access import ABSURD_BOUND, analyze_access
+from repro.analysis.advisor import (
+    EXPENSIVE_COST,
+    MAX_VIEW_ATOMS,
+    ViewAdvice,
+    advice_report,
+    advise_views,
+)
 from repro.analysis.certify import certify_plan, certify_plans, check_plan
+from repro.analysis.cost import (
+    CostEstimate,
+    CostStats,
+    certify_selection,
+    check_selection,
+    estimate_plan,
+)
 from repro.analysis.dataflow import (
     ADVISED_RULE_BOUND,
     AtomAdornment,
@@ -67,6 +99,12 @@ from repro.analysis.diagnostics import (
     Severity,
     diagnostic,
     register_code,
+)
+from repro.analysis.maintain import (
+    IncrementalSupport,
+    MaintainBlocker,
+    check_maintainable,
+    classify_incremental,
 )
 from repro.analysis.plans import (
     BLOWUP_THRESHOLD,
@@ -99,12 +137,25 @@ __all__ = [
     "analyze_plan",
     "analyze_views",
     "advise_covering_view",
+    "advise_views",
+    "advice_report",
+    "ViewAdvice",
     "analyze_prepared",
     "analyze_engine",
     "workload_report",
+    "workload_advice",
     "certify_plan",
     "certify_plans",
     "check_plan",
+    "estimate_plan",
+    "certify_selection",
+    "check_selection",
+    "CostEstimate",
+    "CostStats",
+    "classify_incremental",
+    "check_maintainable",
+    "IncrementalSupport",
+    "MaintainBlocker",
     "binding_flow",
     "explain_uncontrolled",
     "advise_missing_rule",
@@ -118,6 +169,8 @@ __all__ = [
     "SELECTIVITY_RATIO",
     "DEFAULT_ADVISED_BOUND",
     "ADVISED_RULE_BOUND",
+    "EXPENSIVE_COST",
+    "MAX_VIEW_ATOMS",
 ]
 
 
@@ -129,20 +182,22 @@ def analyze_prepared(
 ) -> Report:
     """Every applicable pass for one prepared query: the QRY passes, then
     -- when the query compiles under the engine's access schema (views
-    included) -- the PLN passes on each plan; when it does not compile,
-    the VIW003 covering-view advisor instead."""
+    included) -- the PLN passes on each plan, the INC
+    incremental-maintainability classification, and a CST003 note for
+    each plan the cost-based selector steered onto a view; when the
+    query does not compile, the VIW003 covering-view advisor instead."""
     engine = prepared._engine
     parameters = tuple(parameters)
     report = analyze_query(
         prepared.query, engine.access, parameters, source=source
     )
+    if isinstance(prepared.query, ConjunctiveQuery):
+        disjuncts: tuple[ConjunctiveQuery, ...] = (prepared.query,)
+    else:
+        disjuncts = prepared.query.disjuncts
     try:
         plans = prepared.plan(parameters)
     except NotControlledError:
-        if isinstance(prepared.query, ConjunctiveQuery):
-            disjuncts: tuple[ConjunctiveQuery, ...] = (prepared.query,)
-        else:
-            disjuncts = prepared.query.disjuncts
         for disjunct in disjuncts:
             report.extend(
                 advise_covering_view(
@@ -154,6 +209,32 @@ def analyze_prepared(
         plans = (plans,)
     for plan in plans:
         report.extend(analyze_plan(plan, source=source))
+    report.extend(classify_incremental(plans).report(source=source))
+    # CST003: the selector picked a view-augmented plan although a base
+    # plan exists -- worth a note (with the price comparison) because the
+    # answers now depend on view freshness.
+    from repro.core.plans import compile_plan
+
+    for disjunct, plan in zip(disjuncts, plans):
+        if not plan.view_relations:
+            continue
+        try:
+            base = compile_plan(disjunct, engine.access, parameters)
+        except NotControlledError:
+            continue  # view-only: augmentation is the only plan
+        stats = engine.cost_stats
+        chosen = estimate_plan(plan, stats)
+        rejected = estimate_plan(base, stats)
+        views = ", ".join(sorted(plan.view_relations))
+        report.add(
+            diagnostic(
+                "CST003",
+                f"cost-based selection reads view(s) {views}: estimated "
+                f"cost {chosen.total:g} beats the base plan's "
+                f"{rejected.total:g}; answers now track view freshness",
+                source=source,
+            )
+        )
     return report
 
 
@@ -225,3 +306,26 @@ def workload_report(*, certify: bool | None = None) -> Report:
             )
         )
     return report
+
+
+def workload_advice(
+    *, persons: int = 400, seed: int = 0
+) -> tuple[tuple[ViewAdvice, ...], Report]:
+    """The advisor's run over the Q1-Q5 bundles: seed a social instance,
+    refresh cost statistics from it, and advise with *no* workload views
+    registered -- so Q4/Q5 are uncontrolled and yield multi-atom
+    proposals, and any expensive controlled bundle yields cost cuts.
+    Returns the ranked advice plus its VIW004/VIW005 report (the
+    ``python -m repro.analysis --workload --advise`` payload)."""
+    from repro.workloads import (
+        RUNNING_QUERIES,
+        VIEW_QUERIES,
+        generate_social_network,
+    )
+
+    bundles = RUNNING_QUERIES + VIEW_QUERIES
+    engine = bundles[0].engine(generate_social_network(persons, seed=seed))
+    engine.refresh_cost_stats()
+    entries = [(b.query, b.parameters, b.name) for b in bundles]
+    advices = advise_views(engine, entries)
+    return advices, advice_report(advices)

@@ -19,6 +19,11 @@ plus the access rules themselves and the repo's own workload bundles::
     # machine-readable output (what CI uploads as an artifact)
     python -m repro.analysis --workload --format json
 
+    # the multi-atom view advisor: seed a social instance, refresh cost
+    # stats, and propose covering views for the uncontrolled/expensive
+    # bundles (JSON output gains an "advice" key)
+    python -m repro.analysis --workload --advise --format json
+
     # apply the certified QRY003/QRY004 rewrites in place (--dry-run:
     # print the unified diff without writing)
     python -m repro.analysis queries.dl --fix --params p
@@ -36,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import re
 import sys
 from pathlib import Path
@@ -45,6 +51,7 @@ from repro.analysis import (
     CODES,
     Report,
     Severity,
+    advice_report,
     advise_covering_view,
     analyze_access,
     analyze_plan,
@@ -52,6 +59,7 @@ from repro.analysis import (
     certify_plan,
     diagnostic,
     fix_query,
+    workload_advice,
     workload_report,
 )
 from repro.core.access_schema import AccessSchema
@@ -214,6 +222,41 @@ def _fix_file(
     return True
 
 
+def _advise_files(
+    filenames: Sequence[str],
+    schema: DatabaseSchema,
+    access: AccessSchema,
+    params: Sequence[str],
+    report: Report,
+) -> list:
+    """Run the multi-atom advisor over every parseable query in
+    ``filenames`` on a data-less engine (no stats, so bounds fall back to
+    the default).  Merges the VIW004/VIW005 diagnostics into ``report``
+    and returns the advice list."""
+    from repro.analysis import advise_views
+    from repro.api.engine import Engine
+
+    engine = Engine(schema, access)
+    entries: list[tuple] = []
+    for filename in filenames:
+        try:
+            text = Path(filename).read_text()
+        except OSError:
+            continue  # already reported as SYN001 by the lint pass
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                query = parse_query(line, schema=schema)
+            except ReproError:
+                continue  # unparseable lines are lint findings
+            entries.append((query, _usable(params, query), filename))
+    advices = list(advise_views(engine, entries))
+    report.extend(advice_report(advices))
+    return advices
+
+
 def _print_codes() -> None:
     width = max(len(info.title) for info in CODES.values())
     for code in sorted(CODES):
@@ -262,6 +305,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "with --workload, gate the bundles' engine on certification",
     )
     parser.add_argument(
+        "--advise",
+        action="store_true",
+        help="run the multi-atom view advisor: with --workload, seed a "
+        "social instance and propose covering views for the "
+        "uncontrolled/expensive bundles; with files, advise each query "
+        "against --schema/--access (no stats, default bounds)",
+    )
+    parser.add_argument(
         "--fix",
         action="store_true",
         help="apply the certified QRY003/QRY004 rewrites to the given "
@@ -296,6 +347,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--fix needs query files to rewrite")
     if args.dry_run and not args.fix:
         parser.error("--dry-run only makes sense with --fix")
+    if args.advise and args.files and not args.access:
+        parser.error("--advise on files needs --schema and --access")
 
     report = Report()
     schema: DatabaseSchema | None = None
@@ -328,8 +381,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         for filename in args.files:
             _fix_file(filename, schema, params, dry_run=args.dry_run)
 
+    advices: list = []
+    if args.advise:
+        if args.workload:
+            try:
+                workload_advices, advice_diags = workload_advice()
+            except ReproError as exc:
+                report.add(
+                    diagnostic("SYN001", str(exc), source="--workload")
+                )
+            else:
+                advices.extend(workload_advices)
+                report.extend(advice_diags)
+        if args.files and schema is not None and access is not None:
+            advices.extend(
+                _advise_files(args.files, schema, access, params, report)
+            )
+
     if args.format == "json":
-        print(report.to_json())
+        payload = report.to_dict()
+        if args.advise:
+            payload["advice"] = [advice.to_dict() for advice in advices]
+        print(json.dumps(payload, indent=2))
     else:
         if report:
             print(report.render())

@@ -20,7 +20,9 @@ without consulting the planner's own bookkeeping,
   equalities and end up bound (**CRT004**);
 * that relations marked as views are registered views (**CRT005**);
 * that the fanout arithmetic -- recomputed from scratch -- equals
-  ``plan.fanout_bound`` and ``plan.step_costs()`` exactly (**CRT006**);
+  ``plan.fanout_bound`` and ``plan.step_costs()`` exactly (**CRT006**),
+  and that the weighted ``plan.cost_estimate`` the optimizer selects on
+  equals the re-derived figure (**CST002**);
 * that the steps witness every body atom, and nothing else, and that the
   plan's satisfiability marker agrees with the query's equalities
   (**CRT007**).
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.analysis.cost import COST_TOLERANCE, PROBE_COST
 from repro.analysis.diagnostics import Report, Severity, diagnostic
 from repro.core.access_schema import AccessRule, AccessSchema
 from repro.core.controllability import _is_bound
@@ -126,6 +129,12 @@ def certify_plan(
                 f"unsatisfiable plan must have fanout bound 0, plan "
                 f"claims {plan.fanout_bound}",
             )
+        if plan.cost_estimate != 0.0:
+            emit(
+                "CST002",
+                f"unsatisfiable plan must have cost estimate 0, plan "
+                f"claims {plan.cost_estimate:g}",
+            )
         return report
     if not plan.satisfiable:
         emit(
@@ -154,6 +163,7 @@ def certify_plan(
     witnessed = set()
     branches = 1
     accesses = 0
+    weighted = 0.0
     expected_costs: list[tuple[int, int, int]] = []
     for idx, step in enumerate(plan.steps, 1):
         atom = step.atom
@@ -186,6 +196,7 @@ def certify_plan(
             witnessed.add(atom)
             expected_costs.append((branches, branches, branches))
             accesses += branches
+            weighted += branches * PROBE_COST
             continue
         rule = step.rule
         declared = rules_for(atom.relation)
@@ -250,6 +261,7 @@ def certify_plan(
         fanned = branches * rule.bound
         expected_costs.append((branches, fanned, fanned))
         accesses += fanned
+        weighted += fanned * rule.cost
         branches = fanned
 
     for atom in sorted(expected_atoms - witnessed, key=str):
@@ -291,6 +303,15 @@ def certify_plan(
             "CRT006",
             f"plan.step_costs() reports {actual_costs} but re-deriving "
             f"the per-step arithmetic gives {tuple(expected_costs)}",
+        )
+    claimed_cost = plan.cost_estimate
+    if abs(claimed_cost - weighted) > COST_TOLERANCE * max(
+        1.0, abs(weighted)
+    ):
+        emit(
+            "CST002",
+            f"plan claims cost estimate {claimed_cost:g} but re-deriving "
+            f"the weighted step costs from its rules gives {weighted:g}",
         )
     return report
 

@@ -1,0 +1,256 @@
+"""The static cost model behind cost-based plan selection (CST codes).
+
+:func:`estimate_plan` prices a compiled plan from the same fanout
+arithmetic the certifier re-derives: walking the left-deep steps, every
+fetch multiplies the open branches by its per-branch fanout and charges
+that many accesses weighted by the rule's per-lookup ``cost``; every
+probe charges one unit per branch.  With no statistics the per-branch
+fanout is the rule's declared bound, so the total over unit-cost rules
+is exactly :attr:`~repro.core.plans.Plan.fanout_bound` -- the figure
+:attr:`~repro.core.plans.Plan.cost_estimate` memoizes.
+
+:class:`CostStats` adds the profile-guided refinement, still with zero
+query execution: observed per-relation cardinalities and per-position
+group fanouts (collected through the backend's *unaccounted* iteration
+primitives, so collection never perturbs the scale-independence
+accounting) tighten each fetch's fanout to
+``min(declared bound, observed max group, |R|)``.  Statistics never
+*raise* an estimate -- the declared bound stays the ceiling -- so a
+refined estimate is a valid lower envelope of the static one and plans
+remain certified against their declared bounds.
+
+:func:`check_selection` is the optimizer's own must-fail check: after
+:class:`~repro.api.engine.Engine` picks the cheapest of {base plan,
+view-augmented plan}, the chosen estimate must not exceed the best
+rejected one (CST001).  Like the CRT codes, a CST001 firing means the
+selection logic and an independent comparison disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.analysis.diagnostics import Report, diagnostic
+from repro.core.plans import FetchStep, Plan, Step
+from repro.errors import CertificationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.instance import Database
+
+#: Per-branch unit charge of a probe step.
+PROBE_COST = 1.0
+
+#: Relative tolerance for comparing re-derived against annotated costs
+#: (floating-point weighted sums).
+COST_TOLERANCE = 1e-9
+
+#: Relations larger than this are priced by cardinality only --
+#: :meth:`CostStats.from_database` skips the per-position fanout
+#: measurement to keep stats collection cheap on out-of-core stores.
+MAX_PROFILED_ROWS = 250_000
+
+
+@dataclass(frozen=True)
+class StepEstimate:
+    """One step's contribution to a :class:`CostEstimate`.
+
+    Mirrors :class:`~repro.core.plans.StepCost` but carries the weighted
+    ``cost`` and whether observed statistics tightened the fanout below
+    the rule's declared bound (``refined``).
+    """
+
+    step: Step
+    branches_in: int
+    accesses: int
+    branches_out: int
+    cost: float
+    refined: bool = False
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The priced plan: per-step estimates and their weighted ``total``."""
+
+    plan: Plan
+    total: float
+    accesses: int
+    steps: tuple[StepEstimate, ...] = ()
+    refined: bool = False
+
+    def explain(self) -> str:
+        """A per-step rendering of where the cost goes."""
+        lines = []
+        for i, est in enumerate(self.steps, 1):
+            mark = " (refined)" if est.refined else ""
+            lines.append(
+                f"{i}. {est.step}  [<= {est.accesses} tuples, "
+                f"cost {est.cost:g}{mark}]"
+            )
+        lines.append(f"total cost: {self.total:g} ({self.accesses} accesses)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CostStats:
+    """Observed database statistics for profile-guided cost refinement.
+
+    ``relation_sizes`` maps relation name to cardinality;  ``fanouts``
+    maps ``(relation, (position,))`` to the largest group of tuples
+    sharing a value at that position -- the tightest data-dependent bound
+    on what a single-key fetch can return.  Both are snapshots: the
+    engine versions them into its plan-cache key, so refreshing stats
+    invalidates cached plan choices rather than silently drifting.
+    """
+
+    relation_sizes: Mapping[str, int] = field(default_factory=dict)
+    fanouts: Mapping[tuple[str, tuple[int, ...]], int] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_database(
+        cls, db: "Database", *, max_profiled_rows: int = MAX_PROFILED_ROWS
+    ) -> "CostStats":
+        """Collect statistics from ``db`` through unaccounted backend
+        primitives (``count`` / ``iter_rows``): relation cardinalities
+        always, per-position max group fanouts for relations up to
+        ``max_profiled_rows`` tuples."""
+        sizes: dict[str, int] = {}
+        fanouts: dict[tuple[str, tuple[int, ...]], int] = {}
+        backend = db.backend
+        for name in db.schema.names:
+            size = backend.count(name)
+            sizes[name] = size
+            arity = db.schema.relation(name).arity
+            if size == 0 or size > max_profiled_rows:
+                continue
+            groups: list[dict[object, int]] = [{} for _ in range(arity)]
+            for row in backend.iter_rows(name):
+                for position, value in enumerate(row):
+                    counts = groups[position]
+                    counts[value] = counts.get(value, 0) + 1
+            for position, counts in enumerate(groups):
+                fanouts[(name, (position,))] = max(counts.values(), default=0)
+        return cls(sizes, fanouts)
+
+    def size(self, relation: str) -> int | None:
+        return self.relation_sizes.get(relation)
+
+    def fanout(self, relation: str, positions: tuple[int, ...]) -> int | None:
+        """The observed max group size for a lookup keyed on
+        ``positions`` -- the minimum over the measured single-position
+        fanouts (keying on more positions only shrinks groups), falling
+        back to the relation's cardinality for keyless (full) access."""
+        candidates = [
+            self.fanouts[(relation, (p,))]
+            for p in positions
+            if (relation, (p,)) in self.fanouts
+        ]
+        size = self.relation_sizes.get(relation)
+        if size is not None:
+            candidates.append(size)
+        return min(candidates) if candidates else None
+
+
+def estimate_plan(plan: Plan, stats: CostStats | None = None) -> CostEstimate:
+    """Price ``plan`` by re-deriving its step arithmetic independently of
+    the plan's own memoized annotations.
+
+    Without ``stats`` the result's ``total`` equals
+    :attr:`Plan.cost_estimate` and its ``accesses`` equals
+    :attr:`Plan.fanout_bound` -- the property CST002 certifies.  With
+    ``stats``, fetch fanouts against *base* relations are tightened by
+    the observed figures (view relations keep their declared bounds:
+    view stores are maintained to those bounds, not profiled)."""
+    if not plan.satisfiable:
+        return CostEstimate(plan, 0.0, 0, (), refined=False)
+    steps: list[StepEstimate] = []
+    branches = 1
+    accesses = 0
+    total = 0.0
+    any_refined = False
+    for step in plan.steps:
+        if not isinstance(step, FetchStep):
+            cost = branches * PROBE_COST
+            steps.append(StepEstimate(step, branches, branches, branches, cost))
+            accesses += branches
+            total += cost
+            continue
+        fanout = step.rule.bound
+        refined = False
+        if stats is not None and step.atom.relation not in plan.view_relations:
+            observed = stats.fanout(step.atom.relation, step.input_positions)
+            if observed is not None and observed < fanout:
+                fanout = observed
+                refined = True
+        fanned = branches * fanout
+        cost = fanned * step.rule.cost
+        steps.append(
+            StepEstimate(step, branches, fanned, fanned, cost, refined)
+        )
+        accesses += fanned
+        total += cost
+        branches = fanned
+        any_refined = any_refined or refined
+    return CostEstimate(plan, total, accesses, tuple(steps), refined=any_refined)
+
+
+def certify_selection(
+    chosen: CostEstimate,
+    rejected: Iterable[CostEstimate],
+    *,
+    source: str | None = None,
+) -> Report:
+    """The CST001 self-check: the chosen plan's estimate must not exceed
+    any rejected candidate's (beyond floating-point tolerance).  The
+    engine runs this after every cost-based choice; a finding means the
+    selection logic and this independent comparison disagree."""
+    report = Report()
+    best = min((est.total for est in rejected), default=None)
+    if best is None:
+        return report
+    if chosen.total > best * (1.0 + COST_TOLERANCE) + COST_TOLERANCE:
+        kind = "view-augmented" if chosen.plan.view_relations else "base"
+        report.add(
+            diagnostic(
+                "CST001",
+                f"cost-based selection kept the {kind} plan at cost "
+                f"{chosen.total:g} although a rejected candidate costs "
+                f"{best:g}",
+                source=source,
+            )
+        )
+    return report
+
+
+def check_selection(
+    chosen: CostEstimate,
+    rejected: Iterable[CostEstimate],
+    *,
+    source: str | None = None,
+) -> CostEstimate:
+    """The gating form: return ``chosen``, or raise
+    :class:`CertificationError` if :func:`certify_selection` finds a
+    CST001 violation."""
+    report = certify_selection(chosen, rejected, source=source)
+    if not report.ok():
+        raise CertificationError(
+            "cost-based plan selection failed its self-check:\n"
+            + report.render(),
+            report,
+        )
+    return chosen
+
+
+__all__ = [
+    "PROBE_COST",
+    "COST_TOLERANCE",
+    "MAX_PROFILED_ROWS",
+    "StepEstimate",
+    "CostEstimate",
+    "CostStats",
+    "estimate_plan",
+    "certify_selection",
+    "check_selection",
+]

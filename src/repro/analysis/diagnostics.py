@@ -284,10 +284,22 @@ register_code("PLN001", Severity.WARNING, "fanout bound blowup")
 register_code("PLN002", Severity.HINT, "probe after embedded fetch is fusable")
 register_code("PLN003", Severity.HINT, "one step dominates the access bound")
 
-# Views (repro.analysis.views)
+# Views (repro.analysis.views / repro.analysis.advisor)
 register_code("VIW001", Severity.WARNING, "view matches no workload query")
 register_code("VIW002", Severity.HINT, "views with equivalent bodies overlap")
 register_code("VIW003", Severity.HINT, "covering view would control the query")
+register_code("VIW004", Severity.HINT, "advised view would make the query controlled")
+register_code("VIW005", Severity.HINT, "advised view would cut the plan's access cost")
+
+# Cost model (repro.analysis.cost) -- CST001/CST002 are errors: either
+# means the optimizer and an independent re-derivation disagree.
+register_code("CST001", Severity.ERROR, "cost-based selection kept a costlier plan")
+register_code("CST002", Severity.ERROR, "plan cost estimate disagrees with re-derivation")
+register_code("CST003", Severity.HINT, "cost-based selection chose a view-augmented plan")
+
+# Incremental maintainability (repro.analysis.maintain)
+register_code("INC001", Severity.HINT, "plan cannot be refreshed incrementally")
+register_code("INC002", Severity.HINT, "union disjunct blocks incremental refresh")
 
 # Plan certification (repro.analysis.certify) -- all errors: a CRT
 # finding means the planner and an independent re-derivation disagree.

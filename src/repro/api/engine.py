@@ -440,6 +440,7 @@ class Engine:
         "_cache",
         "_views",
         "_certify",
+        "_cost_state",
     )
 
     def __init__(
@@ -463,7 +464,12 @@ class Engine:
         # Writers serialize on _access_lock so versions are never reused.
         self._access_lock = threading.Lock()
         self._access_state = (0, self._coerce_access(access))
+        # (version, CostStats | None), same pairing discipline as
+        # _access_state: the version is part of every plan-cache key, so
+        # refreshing statistics strands plan choices made under old stats.
+        self._cost_state: tuple = (0, None)
         self._views = ViewSet(schema)
+        self._views._owner = self  # back-reference for views.advise()
         if certify is None:
             certify = os.environ.get("REPRO_CERTIFY", "") not in ("", "0")
         self._certify = bool(certify)
@@ -639,6 +645,41 @@ class Engine:
 
         return analyze_engine(self, queries, source=source)
 
+    # -- cost statistics -------------------------------------------------
+
+    @property
+    def cost_stats(self):
+        """The observed :class:`~repro.analysis.cost.CostStats` refining
+        cost-based plan selection, or None (purely static costs)."""
+        return self._cost_state[1]
+
+    def refresh_cost_stats(self, stats=None):
+        """Collect observed statistics from the bound database (or
+        install a ready-made :class:`~repro.analysis.cost.CostStats`) for
+        profile-guided plan selection, and return them.
+
+        Collection reads only unaccounted backend primitives -- no query
+        executes and no access is charged.  The stats version is part of
+        every plan-cache key, so plan choices made under the previous
+        statistics are stranded, never served."""
+        from repro.analysis.cost import CostStats
+
+        if stats is None:
+            stats = CostStats.from_database(self.require_database())
+        elif not isinstance(stats, CostStats):
+            raise SchemaError(f"{stats!r} is not a CostStats")
+        with self._access_lock:  # no lost version bumps
+            version, _ = self._cost_state
+            self._cost_state = (version + 1, stats)
+        return stats
+
+    def clear_cost_stats(self) -> None:
+        """Drop observed statistics: selection reverts to the purely
+        static (declared-bound) cost model."""
+        with self._access_lock:
+            version, _ = self._cost_state
+            self._cost_state = (version + 1, None)
+
     # -- plan cache ------------------------------------------------------
 
     def cache_stats(self) -> CacheStats:
@@ -664,12 +705,15 @@ class Engine:
         # racing us bumps the version (stranding this key) but can never
         # make the rewrite and the extended schema disagree.
         catalog = self._views.snapshot()
-        key = (version, catalog.version, query, parameters)
+        # Observed statistics steer plan choice, so their version rides
+        # in the key too: refreshed stats strand previous choices.
+        cost_version, cost_stats = self._cost_state
+        key = (version, catalog.version, cost_version, query, parameters)
 
         def compile_all() -> tuple[Plan, ...]:
             def compile_one(disjunct: ConjunctiveQuery, params) -> Plan:
                 try:
-                    return compile_plan(disjunct, access, params)
+                    base = compile_plan(disjunct, access, params)
                 except NotControlledError as exc:
                     if not len(catalog):
                         raise
@@ -681,6 +725,31 @@ class Engine:
                     return compile_with_views(
                         disjunct, access, catalog, params, base_error=exc
                     )
+                if not len(catalog):
+                    return base
+                # Controlled over base data: selection is cost-based, not
+                # augmentation-only.  Price the view-augmented candidate
+                # too and keep the cheaper plan (ties keep the base plan:
+                # it needs no view freshness pass before executing).
+                try:
+                    augmented = compile_with_views(
+                        disjunct, access, catalog, params
+                    )
+                except NotControlledError:
+                    return base
+                from repro.analysis.cost import check_selection, estimate_plan
+
+                estimates = [
+                    estimate_plan(candidate, cost_stats)
+                    for candidate in (base, augmented)
+                ]
+                chosen, rejected = (
+                    (0, 1) if estimates[0].total <= estimates[1].total else (1, 0)
+                )
+                # The optimizer's own must-fail check (CST001): the
+                # chosen estimate can never exceed the rejected one.
+                check_selection(estimates[chosen], (estimates[rejected],))
+                return (base, augmented)[chosen]
 
             # Compile with a deterministic parameter order; values are
             # matched by name at execution time, so order is cosmetic.

@@ -115,6 +115,7 @@ class Plan:
         "satisfiable",
         "view_relations",
         "_fanout_bound",
+        "_cost_estimate",
     )
 
     def __init__(
@@ -133,6 +134,7 @@ class Plan:
         self.satisfiable = satisfiable
         self.view_relations = frozenset(view_relations)
         self._fanout_bound: int | None = None
+        self._cost_estimate: float | None = None
 
     def __repr__(self) -> str:
         return (
@@ -158,6 +160,29 @@ class Plan:
                 bound = sum(cost.accesses for cost in self.step_costs())
             self._fanout_bound = bound
         return bound
+
+    @property
+    def cost_estimate(self) -> float:
+        """The plan's static weighted cost: each fetch charges its
+        worst-case accesses times its rule's per-lookup ``cost``, each
+        probe one unit per open branch.
+
+        With all rule costs at the default 1.0 this equals
+        :attr:`fanout_bound`; non-uniform costs let the optimizer prefer
+        cheap-access relations (e.g. a memory-resident view over a remote
+        base table) at equal fanout.  The certifier re-derives this figure
+        independently (CST002), and :func:`repro.analysis.cost.estimate_plan`
+        refines it with observed statistics without executing anything.
+        """
+        cost = self._cost_estimate
+        if cost is None:
+            cost = 0.0
+            for step_cost in self.step_costs():
+                step = step_cost.step
+                unit = step.rule.cost if isinstance(step, FetchStep) else 1.0
+                cost += step_cost.accesses * unit
+            self._cost_estimate = cost
+        return cost
 
     def step_costs(self) -> tuple[StepCost, ...]:
         """Per-step worst-case cost estimates (see :class:`StepCost`).
@@ -195,6 +220,7 @@ class Plan:
         )
         lines.append(f"project: ({head})")
         lines.append(f"access bound: {self.fanout_bound} tuples")
+        lines.append(f"cost estimate: {self.cost_estimate:g}")
         return "\n".join(lines)
 
     def execute(

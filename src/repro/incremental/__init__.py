@@ -40,9 +40,11 @@ versions.
 
 Limitations, by design: plans fetching through an *embedded* access rule
 are rejected with :class:`~repro.errors.IncrementalError` (their
-per-assignment projection dedup has no exact counting semantics), and
-mutations are single-writer -- interleaving them with an in-flight
-execute or refresh is undefined.
+per-assignment projection dedup has no exact counting semantics) -- the
+:mod:`repro.analysis.maintain` classifier decides this statically before
+anything is materialized, so the error carries the full INC001 causal
+trace -- and mutations are single-writer: interleaving them with an
+in-flight execute or refresh is undefined.
 """
 
 from __future__ import annotations
@@ -53,7 +55,6 @@ from repro.core.executor import (
     ExecutionContext,
     OperatorProfile,
     PlanProfile,
-    check_delta_supported,
     delta_fanout_bound,
     execute_plan_counting,
     execute_plan_delta,
@@ -247,8 +248,13 @@ class IncrementalResult:
         plans: tuple[Plan, ...] = engine._plans_for(
             self._query, frozenset(self._values)
         )
-        for plan in plans:
-            check_delta_supported(plan)
+        # Classify statically before materializing anything: unlike the
+        # executor's per-plan check, the classifier's error carries every
+        # blocker's causal trace.  Imported lazily -- repro.analysis sits
+        # above repro.incremental in the layering.
+        from repro.analysis.maintain import check_maintainable
+
+        check_maintainable(plans)
         # Refresh any views the plans read *before* snapshotting the
         # watermark: the counting pass must see views that agree with the
         # base state at that watermark (mutations are single-writer, so

@@ -22,15 +22,21 @@ is **broadcast** to all children and the per-key groups concatenated;
 counting is normalized back to once-per-distinct-key, so the delta
 rule's dedup semantics are preserved either way.
 
-Caveats: scans and iteration concatenate children in shard order, so
-global insertion order is only preserved *within* a shard; and Python
-hashes of strings vary across processes (``PYTHONHASHSEED``), so a
-particular row's shard index is stable only within one process -- never
-persist shard assignments.
+Routing is **deterministic across processes**: the shard index is
+``crc32(repr(canonical_key)) % N`` -- not Python's ``hash()``, whose
+string hashes vary with ``PYTHONHASHSEED`` -- with booleans and
+integral floats canonicalized to ints first (``True == 1`` and
+``1.0 == 1`` in Python, so equal keys must repr identically).  A row's
+shard assignment can therefore be persisted and recomputed in another
+process.
+
+Caveat: scans and iteration concatenate children in shard order, so
+global insertion order is only preserved *within* a shard.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
@@ -39,6 +45,25 @@ from repro.relational.backends.base import Row, StorageBackend, check_positions
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.instance import AccessStats
     from repro.relational.schema import DatabaseSchema
+
+
+def _canon(value: object) -> object:
+    """Canonicalize values that compare equal but repr differently:
+    ``True == 1`` and ``1.0 == 1``, so equal shard keys must map to the
+    same bytes before hashing."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def stable_shard_hash(key: Row) -> int:
+    """The process-independent shard hash: CRC-32 of the canonicalized
+    key's repr.  Unlike ``hash()``, this survives ``PYTHONHASHSEED``, so
+    shard assignments may be persisted and recomputed elsewhere."""
+    canonical = tuple(_canon(value) for value in key)
+    return zlib.crc32(repr(canonical).encode("utf-8"))
 
 
 class ShardedBackend(StorageBackend):
@@ -90,11 +115,11 @@ class ShardedBackend(StorageBackend):
     # -- routing ---------------------------------------------------------
 
     def _shard_of(self, projected: Row) -> int:
-        return hash(projected) % self.shards
+        return stable_shard_hash(projected) % self.shards
 
     def _row_shard(self, relation: str, row: Row) -> int:
         kp = self._key_positions[relation]
-        return hash(tuple(row[p] for p in kp)) % self.shards
+        return stable_shard_hash(tuple(row[p] for p in kp)) % self.shards
 
     # -- charged reads ---------------------------------------------------
 
@@ -224,4 +249,4 @@ class ShardedBackend(StorageBackend):
         return f"ShardedBackend(shards={self.shards})"
 
 
-__all__ = ["ShardedBackend"]
+__all__ = ["ShardedBackend", "stable_shard_hash"]

@@ -26,9 +26,14 @@ connection.  Durability pragmas are relaxed (``journal_mode=OFF``,
 ``synchronous=OFF``): this is a query-engine store, not a system of
 record.
 
-Limitations: values must be SQLite-native (int, float, str, bytes);
-``None`` is storable but, per SQL ``NULL`` semantics, never matches a
-lookup key, and relation names that differ only by case would collide
+``None`` is a first-class value: SQL ``NULL`` neither matches ``=`` nor
+deduplicates under a UNIQUE index, so every read/write path routes
+``None``-bearing keys and rows through explicit ``IS NULL`` predicates
+(and Python-side dedup on load), keeping all backends row-for-row
+interchangeable.
+
+Limitations: values must be SQLite-native (int, float, str, bytes or
+``None``), and relation names that differ only by case would collide
 (SQLite identifiers are case-insensitive).
 """
 
@@ -127,9 +132,11 @@ class SqliteBackend(StorageBackend):
         sel = ", ".join(f"c{i}" for i in range(arity))
         conn = self._conn
         pending = list(distinct)
+        plain = [key for key in pending if None not in key]
+        nullish = [key for key in pending if None in key]
         chunk_size = max(1, _MAX_VARIABLES // width)
-        for start in range(0, len(pending), chunk_size):
-            chunk = pending[start : start + chunk_size]
+        for start in range(0, len(plain), chunk_size):
+            chunk = plain[start : start + chunk_size]
             if width == 1:
                 marks = ", ".join("?" * len(chunk))
                 sql = (
@@ -150,6 +157,25 @@ class SqliteBackend(StorageBackend):
             for fetched in conn.execute(sql, params):
                 row = intern_row(tuple(fetched))
                 distinct[tuple(row[p] for p in positions)].append(row)
+        # None-bearing keys: ``=`` never matches NULL, so these need
+        # per-key predicates with IS NULL at the None positions.
+        for start in range(0, len(nullish), chunk_size):
+            chunk = nullish[start : start + chunk_size]
+            terms: list[str] = []
+            params = []
+            for key in chunk:
+                term, key_params = self._null_safe_key(positions, key)
+                terms.append(term)
+                params.extend(key_params)
+            sql = (
+                f"SELECT {sel} FROM {table} "
+                f"WHERE {' OR '.join(terms)} ORDER BY rowid"
+            )
+            for fetched in conn.execute(sql, params):
+                row = intern_row(tuple(fetched))
+                group = distinct.get(tuple(row[p] for p in positions))
+                if group is not None:
+                    group.append(row)
         tuples = sum(len(group) for group in distinct.values())
         self._charge(stats, tuples=tuples, lookups=len(distinct))
         owned = {key: tuple(group) for key, group in distinct.items()}
@@ -230,25 +256,55 @@ class SqliteBackend(StorageBackend):
                 flags.append(True)
             else:
                 flags.append(False)
-        if gone:
+        plain = [row for row in gone if None not in row]
+        if plain:
             where = " AND ".join(f"c{i} = ?" for i in range(arity))
             self._conn.executemany(
-                f"DELETE FROM {self._table(relation)} WHERE {where}", gone
+                f"DELETE FROM {self._table(relation)} WHERE {where}", plain
+            )
+        # None-bearing rows need IS NULL predicates; they are rare, so
+        # one statement per row keeps this simple.
+        for row in gone:
+            if None not in row:
+                continue
+            term, params = self._null_safe_key(tuple(range(arity)), row)
+            self._conn.execute(
+                f"DELETE FROM {self._table(relation)} WHERE {term}", params
             )
         return flags
 
     def load_rows(self, relation: str, rows: Sequence[Row]) -> int:
         """Bulk load without per-row flags: ``INSERT OR IGNORE`` in
         ``executemany`` chunks, counting applied rows via the connection's
-        change counter."""
+        change counter.  ``None``-bearing rows bypass the OR IGNORE fast
+        path -- the unique index treats NULLs as distinct, so it cannot
+        dedupe them -- and are deduped in Python instead."""
         arity = self._require(relation)
         conn = self._conn
+        table = self._table(relation)
         marks = ", ".join("?" * arity)
-        sql = f"INSERT OR IGNORE INTO {self._table(relation)} VALUES ({marks})"
-        before = conn.total_changes
-        for start in range(0, len(rows), _WRITE_CHUNK):
-            conn.executemany(sql, rows[start : start + _WRITE_CHUNK])
-        return conn.total_changes - before
+        plain = [row for row in rows if None not in row]
+        nullish = [row for row in rows if None in row]
+        applied = 0
+        if plain:
+            sql = f"INSERT OR IGNORE INTO {table} VALUES ({marks})"
+            before = conn.total_changes
+            for start in range(0, len(plain), _WRITE_CHUNK):
+                conn.executemany(sql, plain[start : start + _WRITE_CHUNK])
+            applied += conn.total_changes - before
+        if nullish:
+            present = self._present(relation, list(dict.fromkeys(nullish)))
+            fresh: list[Row] = []
+            for row in nullish:
+                if row not in present:
+                    present.add(intern_row(tuple(row)))
+                    fresh.append(row)
+            if fresh:
+                conn.executemany(
+                    f"INSERT INTO {table} VALUES ({marks})", fresh
+                )
+                applied += len(fresh)
+        return applied
 
     # -- internals -------------------------------------------------------
 
@@ -268,8 +324,10 @@ class SqliteBackend(StorageBackend):
         present: set[Row] = set()
         chunk_size = max(1, _MAX_VARIABLES // arity)
         cols = ", ".join(f"c{i}" for i in range(arity))
-        for start in range(0, len(distinct), chunk_size):
-            chunk = distinct[start : start + chunk_size]
+        plain = [row for row in distinct if None not in row]
+        nullish = [row for row in distinct if None in row]
+        for start in range(0, len(plain), chunk_size):
+            chunk = plain[start : start + chunk_size]
             if arity == 1:
                 marks = ", ".join("?" * len(chunk))
                 sql = f"SELECT {cols} FROM {table} WHERE c0 IN ({marks})"
@@ -283,7 +341,36 @@ class SqliteBackend(StorageBackend):
                 params = [value for row in chunk for value in row]
             for fetched in conn.execute(sql, params):
                 present.add(intern_row(tuple(fetched)))
+        positions = tuple(range(arity))
+        for start in range(0, len(nullish), chunk_size):
+            chunk = nullish[start : start + chunk_size]
+            terms: list[str] = []
+            null_params: list[object] = []
+            for row in chunk:
+                term, row_params = self._null_safe_key(positions, row)
+                terms.append(term)
+                null_params.extend(row_params)
+            sql = f"SELECT {cols} FROM {table} WHERE {' OR '.join(terms)}"
+            for fetched in conn.execute(sql, null_params):
+                present.add(intern_row(tuple(fetched)))
         return present
+
+    @staticmethod
+    def _null_safe_key(
+        positions: tuple[int, ...], key: Row
+    ) -> tuple[str, list[object]]:
+        """One key's WHERE term with ``IS NULL`` at the ``None``
+        positions (SQL ``=`` never matches NULL) and the bound
+        parameters for the rest."""
+        terms: list[str] = []
+        params: list[object] = []
+        for position, value in zip(positions, key):
+            if value is None:
+                terms.append(f"c{position} IS NULL")
+            else:
+                terms.append(f"c{position} = ?")
+                params.append(value)
+        return "(" + " AND ".join(terms) + ")", params
 
     def _ensure_index(self, relation: str, positions: tuple[int, ...]) -> None:
         """Create the covering index for ``positions`` on first use: key

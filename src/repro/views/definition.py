@@ -620,6 +620,7 @@ class ViewSet:
         "_state_locks",
         "_version",
         "_catalog",
+        "_owner",
     )
 
     def __init__(self, schema: DatabaseSchema):
@@ -633,6 +634,9 @@ class ViewSet:
         self._state_locks: dict[str, threading.Lock] = {}
         self._version = 0
         self._catalog: ViewCatalog | None = None
+        # Back-reference set by the owning Engine; advise() needs the
+        # engine's access schema and cost statistics.
+        self._owner = None
 
     @property
     def version(self) -> int:
@@ -712,6 +716,34 @@ class ViewSet:
             self._version += 1
             self._catalog = None
         return view
+
+    def advise(self, queries: Iterable[object] = (), *, stats=None, expensive=None):
+        """Mine ``queries`` for covering-view opportunities
+        (:func:`repro.analysis.advisor.advise_views`): ranked
+        :class:`~repro.analysis.advisor.ViewAdvice` proposals -- possibly
+        multi-atom -- that would make an uncontrolled query controlled
+        (VIW004) or cut a controlled query's estimated cost (VIW005),
+        each priced with the cost model and sized from observed
+        statistics when available.  Each entry of ``queries`` is query
+        text, a query object, a ``PreparedQuery`` or a
+        ``(query, parameters)`` pair.  Nothing is registered: feed a
+        proposal to :meth:`adopt` to act on it."""
+        engine = self._owner
+        if engine is None:
+            raise SchemaError(
+                "advise() needs a ViewSet owned by an Engine (construct "
+                "the engine first and use engine.views.advise(...))"
+            )
+        # Imported lazily: repro.analysis sits above repro.views.
+        from repro.analysis.advisor import advise_views
+
+        return advise_views(engine, queries, stats=stats, expensive=expensive)
+
+    def adopt(self, advice) -> ViewDef:
+        """Register the view a :class:`~repro.analysis.advisor.ViewAdvice`
+        proposes (its definition text under its derived access rule) and
+        return the resulting :class:`ViewDef`."""
+        return self.register(advice.name, advice.definition, advice.rule)
 
     def drop(self, name: str) -> ViewDef:
         """Unregister ``name`` and discard its materialization.  Plans

@@ -474,7 +474,7 @@ def test_cli_codes_table_lists_every_code(capsys):
     out = capsys.readouterr().out
     for code in CODES:
         assert code in out
-    assert len(CODES) == 26  # QRY 7, ACC 5, PLN 3, VIW 3, CRT 7, SYN 1
+    assert len(CODES) == 33  # QRY 7, ACC 5, PLN 3, VIW 5, CRT 7, CST 3, INC 2, SYN 1
 
 
 def test_cli_missing_file_is_a_syntax_error(tmp_path, capsys):

@@ -321,3 +321,75 @@ def test_sqlite_reopens_by_path(tmp_path):
     reopened = Database(SCHEMA, backend=SqliteBackend(path))
     assert set(reopened.backend.iter_rows("friend")) == set(DATA["friend"])
     reopened.backend.close()
+
+
+# -- None (NULL) rows behave identically everywhere -----------------------
+
+
+def test_none_rows_conform_across_backends(backend_factory):
+    """SQL ``=`` never matches NULL and UNIQUE indexes treat NULLs as
+    distinct -- the SQLite backend must paper over both, so every
+    backend agrees row-for-row on None-bearing data."""
+    db = Database(SCHEMA, backend=backend_factory())
+    rows = [(1, None), (1, 2), (None, 2), (None, None)]
+    assert db.insert_many("friend", rows) == 4
+    # A duplicate None-bearing insert is a no-op, not a second copy.
+    assert db.insert_many("friend", [(1, None), (None, None)]) == 0
+    assert db.size("friend") == 4
+
+    assert db.contains_rows("friend", [(1, None), (None, 2), (7, 7)]) == (
+        True,
+        True,
+        False,
+    )
+    # Lookups keyed on a None value find their group.
+    groups = db.lookup_keys("friend", (0,), [(1,), (None,), (9,)])
+    assert sorted(groups[0], key=repr) == [(1, 2), (1, None)]
+    assert sorted(groups[1], key=repr) == [(None, 2), (None, None)]
+    assert groups[2] == ()
+    # Composite (all-positions) lookups too.
+    (exact,) = db.lookup_keys("friend", (0, 1), [(None, 2)])
+    assert tuple(exact) == ((None, 2),)
+
+    # Deletes remove exactly the None-bearing row they name.
+    assert db.delete_many("friend", [(None, None), (5, 5)]) == 1
+    assert set(db.backend.iter_rows("friend")) == {(1, None), (1, 2), (None, 2)}
+    assert db.insert_many("friend", [(None, None)]) == 1
+
+
+def test_bulk_load_dedupes_none_rows(backend_factory):
+    db = Database(SCHEMA, backend=backend_factory())
+    db.bulk_load("friend", [(1, None), (2, 3)])
+    # Reloading the same None-bearing row must not create a second copy
+    # (SQLite's INSERT OR IGNORE alone would: NULLs are distinct to the
+    # unique index).
+    db.bulk_load("friend", [(1, None), (1, None), (4, None)])
+    assert db.size("friend") == 3
+    assert set(db.backend.iter_rows("friend")) == {(1, None), (2, 3), (4, None)}
+
+
+# -- deterministic shard routing ------------------------------------------
+
+
+def test_shard_routing_is_processwide_stable():
+    """Routing uses CRC-32 of the canonicalized key repr, not ``hash()``
+    -- the same row lands on the same shard whatever PYTHONHASHSEED this
+    process was started with."""
+    from repro.relational.backends.sharded import stable_shard_hash
+
+    import zlib
+
+    assert stable_shard_hash((1,)) == zlib.crc32(b"(1,)")
+    assert stable_shard_hash(("alice", 2)) == zlib.crc32(b"('alice', 2)")
+    # Values that compare equal must route identically: True == 1 and
+    # 1.0 == 1, but their reprs differ -- canonicalized before hashing.
+    assert stable_shard_hash((True,)) == stable_shard_hash((1,))
+    assert stable_shard_hash((1.0,)) == stable_shard_hash((1,))
+    assert stable_shard_hash((1.5,)) != stable_shard_hash((1,))
+
+    backend = ShardedBackend(3)
+    Database(SCHEMA, DATA, backend=backend)
+    for row in DATA["friend"]:
+        expected = stable_shard_hash((row[0],)) % 3
+        child = backend._children[expected]
+        assert row in set(child.iter_rows("friend"))
